@@ -1,0 +1,159 @@
+//! Deadline accounting for periodic data streams over interruption windows.
+
+use neutrino_common::time::{Duration, Instant};
+use neutrino_core::ProcedureWindow;
+
+/// A periodic application stream.
+#[derive(Debug, Clone, Copy)]
+pub struct StreamParams {
+    /// Packets per second (the car streams sensors at 1 kHz).
+    pub rate_hz: u64,
+    /// Per-packet deadline budget (100 ms for driving decisions \[55\],
+    /// 16 ms for perceptual stability in VR \[53\]).
+    pub deadline: Duration,
+    /// Data-plane transit when connectivity is up.
+    pub transit: Duration,
+    /// Stream start.
+    pub start: Instant,
+    /// Stream end.
+    pub end: Instant,
+}
+
+impl StreamParams {
+    /// Total packets the stream emits.
+    pub fn total_packets(&self) -> u64 {
+        (self.end.saturating_since(self.start).as_secs_f64() * self.rate_hz as f64) as u64
+    }
+}
+
+/// Counts packets that miss their deadline given the UE's data-access
+/// interruption windows.
+///
+/// A packet sent at `t` inside an interruption `[s, e)` is buffered and
+/// delivered at `e + transit`: it misses when `e - t + transit > deadline`.
+/// A packet sent outside every window is late only if `transit > deadline`.
+pub fn missed_deadlines(stream: StreamParams, windows: &[ProcedureWindow]) -> u64 {
+    if stream.transit > stream.deadline {
+        return stream.total_packets();
+    }
+    let slack = stream.deadline - stream.transit;
+    let period_ns = 1_000_000_000u64 / stream.rate_hz.max(1);
+    let mut missed = 0u64;
+    for w in windows {
+        let (s, e) = (w.start.max(stream.start), w.end.min(stream.end));
+        if e <= s {
+            continue;
+        }
+        // Packets in [s, e) with e - t > slack ⇔ t < e - slack.
+        let late_until = if e.saturating_since(s) > slack {
+            e - slack
+        } else {
+            continue;
+        };
+        // Count emission instants in [s, late_until): the k-th packet fires
+        // at start + k·period.
+        let first_k = s
+            .saturating_since(stream.start)
+            .as_nanos()
+            .div_ceil(period_ns);
+        let end_k = late_until
+            .saturating_since(stream.start)
+            .as_nanos()
+            .div_ceil(period_ns);
+        missed += end_k.saturating_sub(first_k);
+    }
+    missed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neutrino_common::UeId;
+    use neutrino_messages::procedures::ProcedureKind;
+
+    fn window(start_ms: u64, end_ms: u64) -> ProcedureWindow {
+        ProcedureWindow {
+            ue: UeId::new(1),
+            procedure: neutrino_common::ProcedureId::new(1),
+            kind: ProcedureKind::HandoverWithCpfChange,
+            start: Instant::from_millis(start_ms),
+            end: Instant::from_millis(end_ms),
+        }
+    }
+
+    fn stream(rate_hz: u64, deadline_ms: u64) -> StreamParams {
+        StreamParams {
+            rate_hz,
+            deadline: Duration::from_millis(deadline_ms),
+            transit: Duration::from_millis(2),
+            start: Instant::ZERO,
+            end: Instant::from_secs(10),
+        }
+    }
+
+    #[test]
+    fn no_windows_no_misses() {
+        assert_eq!(missed_deadlines(stream(1_000, 100), &[]), 0);
+    }
+
+    #[test]
+    fn short_window_within_budget_misses_nothing() {
+        // 50 ms interruption, 100 ms budget: every buffered packet still
+        // arrives in time.
+        let w = [window(1_000, 1_050)];
+        assert_eq!(missed_deadlines(stream(1_000, 100), &w), 0);
+    }
+
+    #[test]
+    fn long_window_misses_the_early_packets() {
+        // 300 ms interruption, 100 ms budget (2 ms transit → 98 ms slack):
+        // packets sent in the first 202 ms of the window miss.
+        let w = [window(1_000, 1_300)];
+        let missed = missed_deadlines(stream(1_000, 100), &w);
+        assert!(
+            (195..=210).contains(&missed),
+            "expected ≈202 misses, got {missed}"
+        );
+    }
+
+    #[test]
+    fn tighter_deadline_misses_more() {
+        let w = [window(1_000, 1_300)];
+        let car = missed_deadlines(stream(1_000, 100), &w);
+        let vr = missed_deadlines(stream(1_000, 16), &w);
+        assert!(vr > car);
+        // VR misses ≈ 300 − 14 = 286 ms worth.
+        assert!((280..=292).contains(&vr), "got {vr}");
+    }
+
+    #[test]
+    fn multiple_windows_accumulate() {
+        let w = [window(1_000, 1_300), window(5_000, 5_300)];
+        let one = missed_deadlines(stream(1_000, 100), &w[..1]);
+        let two = missed_deadlines(stream(1_000, 100), &w);
+        assert_eq!(two, one * 2);
+    }
+
+    #[test]
+    fn windows_outside_the_stream_are_ignored() {
+        let w = [window(20_000, 21_000)];
+        assert_eq!(missed_deadlines(stream(1_000, 100), &w), 0);
+    }
+
+    #[test]
+    fn impossible_transit_misses_everything() {
+        let s = StreamParams {
+            transit: Duration::from_millis(200),
+            ..stream(1_000, 100)
+        };
+        assert_eq!(missed_deadlines(s, &[]), s.total_packets());
+    }
+
+    #[test]
+    fn rate_scales_miss_count() {
+        let w = [window(1_000, 1_300)];
+        let slow = missed_deadlines(stream(100, 100), &w);
+        let fast = missed_deadlines(stream(1_000, 100), &w);
+        assert!(fast >= slow * 9, "fast {fast} vs slow {slow}");
+    }
+}

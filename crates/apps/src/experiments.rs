@@ -1,0 +1,270 @@
+//! The §6.6 application experiments, end to end.
+
+use crate::deadline::{missed_deadlines, StreamParams};
+use neutrino_common::time::{Duration, Instant};
+use neutrino_common::UeId;
+use neutrino_core::experiment::{run_experiment, ExperimentSpec};
+use neutrino_core::{ProcedureWindow, SystemConfig, Workload};
+use neutrino_messages::procedures::ProcedureKind;
+use neutrino_trafficgen::{DriveModel, DriveParams};
+
+/// Radio-layer interruption added to every handover's control window: RRC
+/// re-establishment, random access at the target cell, and the user-plane
+/// path switch. Control-plane latency (what the systems differ in) comes on
+/// top of this floor; §2.2 reports total handover data-access gaps of up to
+/// 1.9 s in deployed networks.
+pub const RADIO_PATH_SWITCH_GAP: Duration = Duration::from_millis(150);
+
+/// Per-active-user signaling rate used to turn the figures' "active users"
+/// x-axis into background control load: one procedure every 5 s per user —
+/// denser than the 106.9 s session-request mean because *active* users also
+/// generate TAU, paging-response and handover signaling (§2.2), and chosen
+/// so the x-axis's top (500K users = 100K proc/s) crosses the EPC's
+/// saturation knee, as the paper's growing miss counts imply.
+pub const PER_USER_SIGNALING_HZ: f64 = 1.0 / 5.0;
+
+/// Result of one drive run.
+#[derive(Debug, Clone)]
+pub struct DriveOutcome {
+    /// Packets that missed their deadline during the simulated drive.
+    pub missed: u64,
+    /// Handovers the probe executed.
+    pub handovers: usize,
+    /// Missed packets extrapolated to the paper's full 5-minute drive
+    /// (misses per handover × the full drive's handover count).
+    pub missed_full_drive: u64,
+    /// The probe's raw interruption windows (control-plane part).
+    pub windows: Vec<ProcedureWindow>,
+}
+
+/// Merges two time-ordered workloads.
+fn merge(a: Workload, b: Workload) -> Workload {
+    let mut a = a.into_arrivals().peekable();
+    let mut b = b.into_arrivals().peekable();
+    Workload::new(std::iter::from_fn(move || match (a.peek(), b.peek()) {
+        (Some(x), Some(y)) => {
+            if x.at <= y.at {
+                a.next()
+            } else {
+                b.next()
+            }
+        }
+        (Some(_), None) => a.next(),
+        (None, Some(_)) => b.next(),
+        (None, None) => None,
+    }))
+}
+
+/// Runs the Fig. 13/14 drive: a probe UE performs the Fig. 12 drive while
+/// `active_users` generate background signaling; returns deadline misses
+/// for a stream with the given rate and budget.
+pub fn drive_experiment(
+    config: SystemConfig,
+    active_users: u64,
+    single_handover: bool,
+    stream_rate_hz: u64,
+    deadline: Duration,
+) -> DriveOutcome {
+    // A shortened drive keeps simulation affordable; results extrapolate
+    // per-handover to the full 5-minute drive.
+    let sim_drive = DriveParams {
+        duration: if single_handover {
+            Duration::from_secs(30)
+        } else {
+            Duration::from_secs(80)
+        },
+        start: Instant::from_millis(500),
+        ..DriveParams::default()
+    };
+    let full_drive = DriveModel::new(DriveParams::default());
+    let model = DriveModel::new(sim_drive);
+    let probe = UeId::new(1_000_000_007); // outside the background pool
+    let probe_workload = model.workload(probe, single_handover);
+
+    // Background signaling proportional to the active-user count.
+    let bg_rate = ((active_users as f64 * PER_USER_SIGNALING_HZ) as u64).max(100);
+    let horizon = sim_drive.duration + Duration::from_secs(1);
+    let pool = neutrino_trafficgen::UniformParams::pool_for_rate(bg_rate);
+    let (background, _) = neutrino_trafficgen::uniform_with_pool(
+        neutrino_trafficgen::UniformParams {
+            rate_pps: bg_rate,
+            duration: horizon,
+            kind: ProcedureKind::ServiceRequest,
+            ues: pool,
+            first_ue: 0,
+            start: Instant::ZERO,
+        },
+        50_000,
+    );
+
+    let mut spec = ExperimentSpec::new(config, merge(background, probe_workload));
+    spec.uecfg.record_windows_for.insert(probe);
+    spec.uecfg.pct_sample_every = 64; // PCTs are not the output here
+    spec.horizon = horizon + Duration::from_secs(2);
+    let results = run_experiment(spec);
+
+    // Handover interruptions: the control window plus the radio-layer gap.
+    let windows: Vec<ProcedureWindow> = results
+        .windows
+        .iter()
+        .filter(|w| {
+            w.ue == probe
+                && matches!(
+                    w.kind,
+                    ProcedureKind::HandoverWithCpfChange | ProcedureKind::FastHandover
+                )
+        })
+        .map(|w| ProcedureWindow {
+            end: w.end + RADIO_PATH_SWITCH_GAP,
+            ..*w
+        })
+        .collect();
+    let stream = StreamParams {
+        rate_hz: stream_rate_hz,
+        deadline,
+        transit: Duration::from_millis(2),
+        start: Instant::ZERO,
+        end: Instant::ZERO + horizon,
+    };
+    let missed = missed_deadlines(stream, &windows);
+    let handovers = windows.len();
+    let full_hos = if single_handover {
+        1
+    } else {
+        full_drive.handover_count()
+    };
+    let missed_full_drive = if handovers == 0 {
+        0
+    } else {
+        missed / handovers as u64 * full_hos as u64
+    };
+    DriveOutcome {
+        missed,
+        handovers,
+        missed_full_drive,
+        windows,
+    }
+}
+
+/// Result of the Fig. 3 startup experiment.
+#[derive(Debug, Clone, Copy)]
+pub struct StartupOutcome {
+    /// Median service-request PCT (ms).
+    pub service_request_pct_ms: f64,
+    /// Median video startup delay (ms): PCT + local manifest/first-segment
+    /// fetch (content replayed from a local server, §6.6).
+    pub video_startup_ms: f64,
+    /// Median page load time (ms): PCT + the average locally-replayed
+    /// top-10-Alexa page time.
+    pub page_load_ms: f64,
+}
+
+/// Local-replay content constants (network variation excluded, §6.6).
+pub const VIDEO_FETCH_MS: f64 = 20.0;
+/// Average locally-replayed page render+fetch time.
+pub const PAGE_FETCH_MS: f64 = 1_800.0;
+
+/// Runs the Fig. 3 experiment: idle UEs start an application (one service
+/// request each) while the control plane serves `rate_pps` of such
+/// activations per second.
+pub fn startup_experiment(config: SystemConfig, rate_pps: u64) -> StartupOutcome {
+    let pool = neutrino_trafficgen::UniformParams::pool_for_rate(rate_pps);
+    let (workload, _) = neutrino_trafficgen::uniform_with_pool(
+        neutrino_trafficgen::UniformParams {
+            rate_pps,
+            duration: Duration::from_secs(2),
+            kind: ProcedureKind::ServiceRequest,
+            ues: pool,
+            first_ue: 0,
+            start: Instant::ZERO,
+        },
+        50_000,
+    );
+    let mut spec = ExperimentSpec::new(config, workload);
+    spec.uecfg.pct_sample_every = 4;
+    spec.horizon = Duration::from_secs(60);
+    let mut results = run_experiment(spec);
+    let pct = results.summary(ProcedureKind::ServiceRequest).p50;
+    StartupOutcome {
+        service_request_pct_ms: pct,
+        video_startup_ms: pct + VIDEO_FETCH_MS,
+        page_load_ms: pct + PAGE_FETCH_MS,
+    }
+}
+
+/// Convenience used by tests and the harness: background-free single
+/// handover windows for a config.
+pub fn probe_handover_window_ms(config: SystemConfig) -> f64 {
+    let outcome = drive_experiment(config, 1_000, true, 1_000, Duration::from_millis(100));
+    outcome
+        .windows
+        .first()
+        .map(|w| {
+            w.end.saturating_since(w.start).as_millis_f64() - RADIO_PATH_SWITCH_GAP.as_millis_f64()
+        })
+        .unwrap_or(f64::NAN)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drive_single_handover_produces_one_window() {
+        let o = drive_experiment(
+            SystemConfig::neutrino(),
+            2_000,
+            true,
+            1_000,
+            Duration::from_millis(100),
+        );
+        assert_eq!(o.handovers, 1, "windows: {:?}", o.windows);
+        // 150 ms radio gap − 98 ms slack ⇒ ≥ ~50 ms of 1 kHz misses.
+        assert!(o.missed >= 40, "missed {}", o.missed);
+    }
+
+    #[test]
+    fn epc_misses_more_than_neutrino() {
+        let run = |c: SystemConfig| {
+            drive_experiment(c, 20_000, true, 1_000, Duration::from_millis(100)).missed
+        };
+        let epc = run(SystemConfig::existing_epc());
+        let neutrino = run(SystemConfig::neutrino());
+        assert!(
+            epc > neutrino,
+            "EPC ({epc}) must miss more than Neutrino ({neutrino})"
+        );
+    }
+
+    #[test]
+    fn vr_budget_misses_more_than_car_budget() {
+        let car = drive_experiment(
+            SystemConfig::existing_epc(),
+            5_000,
+            true,
+            1_000,
+            Duration::from_millis(100),
+        );
+        let vr = drive_experiment(
+            SystemConfig::existing_epc(),
+            5_000,
+            true,
+            1_000,
+            Duration::from_millis(16),
+        );
+        assert!(vr.missed > car.missed);
+    }
+
+    #[test]
+    fn startup_outcome_orders_by_system() {
+        let epc = startup_experiment(SystemConfig::existing_epc(), 10_000);
+        let neu = startup_experiment(SystemConfig::neutrino(), 10_000);
+        assert!(epc.service_request_pct_ms > neu.service_request_pct_ms);
+        assert!(epc.video_startup_ms > neu.video_startup_ms);
+        assert!(epc.page_load_ms > neu.page_load_ms);
+        // PLT is fetch-dominated at this load; video is PCT-sensitive.
+        let video_ratio = epc.video_startup_ms / neu.video_startup_ms;
+        let plt_ratio = epc.page_load_ms / neu.page_load_ms;
+        assert!(video_ratio > plt_ratio);
+    }
+}

@@ -1,0 +1,28 @@
+//! Edge application models (§6.6).
+//!
+//! The paper measures how control-plane latency reaches applications:
+//! a CARLA-driven self-driving car streaming 1 kHz sensor data with ~100 ms
+//! decision deadlines, a head-tracked VR stream with a 16 ms perceptual
+//! budget, and stationary UEs starting video/web sessions (whose startup
+//! latency is a function of the service-request PCT, with content served
+//! from local replicas to exclude network variation).
+//!
+//! We reduce each application to what the paper itself measures:
+//!
+//! * [`deadline`] — given the data-access interruption windows a UE
+//!   experienced (from the simulator's probe records) and a packet stream
+//!   (rate + deadline budget), count the packets that miss their deadline.
+//!   Packets sent during an interruption are buffered and delivered when
+//!   connectivity returns — late by the remaining window length.
+//! * [`experiments`] — end-to-end runs: the Fig. 12 drive with background
+//!   signaling load (Figs. 13/14), and the idle-UE application-startup
+//!   experiment (Fig. 3).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod deadline;
+pub mod experiments;
+
+pub use deadline::{missed_deadlines, StreamParams};
+pub use experiments::{drive_experiment, startup_experiment, DriveOutcome, StartupOutcome};

@@ -1,0 +1,120 @@
+//! Criterion benchmarks behind the PCT figures (7, 8, 10, 11, 15, 16):
+//! each target runs a quick-profile simulation cell end to end.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use neutrino_bench::figures::failure::failure_cell;
+use neutrino_bench::figures::pct::uniform_pct_cell;
+use neutrino_common::time::Duration;
+use neutrino_core::SystemConfig;
+use neutrino_messages::procedures::ProcedureKind;
+
+const CELL_MS: u64 = 150;
+
+/// Figs. 7/8: one uniform-rate PCT cell per system (the whole simulated
+/// deployment: UE population, CTA, 5 CPFs, UPFs).
+fn bench_uniform_cells(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pct_uniform_cell");
+    group.sample_size(10);
+    for (label, config, kind) in [
+        (
+            "epc_service_request_40k",
+            SystemConfig::existing_epc(),
+            ProcedureKind::ServiceRequest,
+        ),
+        (
+            "neutrino_service_request_40k",
+            SystemConfig::neutrino(),
+            ProcedureKind::ServiceRequest,
+        ),
+        (
+            "epc_attach_40k",
+            SystemConfig::existing_epc(),
+            ProcedureKind::InitialAttach,
+        ),
+        (
+            "neutrino_attach_40k",
+            SystemConfig::neutrino(),
+            ProcedureKind::InitialAttach,
+        ),
+    ] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                std::hint::black_box(uniform_pct_cell(
+                    config.clone(),
+                    kind,
+                    40_000,
+                    Duration::from_millis(CELL_MS),
+                ))
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Fig. 10: a failure-recovery cell per system.
+fn bench_failure_cells(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pct_failure_cell");
+    group.sample_size(10);
+    for (label, config) in [
+        ("epc_40k", SystemConfig::existing_epc()),
+        ("neutrino_40k", SystemConfig::neutrino()),
+    ] {
+        group.bench_function(BenchmarkId::from_parameter(label), |b| {
+            b.iter(|| {
+                std::hint::black_box(failure_cell(
+                    config.clone(),
+                    40_000,
+                    Duration::from_millis(CELL_MS),
+                ))
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Figs. 11/15: handover flavors and replication modes.
+fn bench_ablation_cells(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pct_ablation_cell");
+    group.sample_size(10);
+    for (label, config, kind) in [
+        (
+            "handover_proactive",
+            SystemConfig::neutrino(),
+            ProcedureKind::HandoverWithCpfChange,
+        ),
+        (
+            "handover_migrate",
+            SystemConfig::neutrino_default_handover(),
+            ProcedureKind::HandoverWithCpfChange,
+        ),
+        (
+            "attach_per_msg_rep",
+            SystemConfig::neutrino_per_message(),
+            ProcedureKind::InitialAttach,
+        ),
+        (
+            "attach_no_rep",
+            SystemConfig::neutrino_no_replication(),
+            ProcedureKind::InitialAttach,
+        ),
+    ] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                std::hint::black_box(uniform_pct_cell(
+                    config.clone(),
+                    kind,
+                    40_000,
+                    Duration::from_millis(CELL_MS),
+                ))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().measurement_time(std::time::Duration::from_secs(4)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_uniform_cells, bench_failure_cells, bench_ablation_cells
+);
+criterion_main!(benches);

@@ -1,0 +1,95 @@
+//! Criterion micro-benchmarks behind Figs. 18, 19, 20: encode and
+//! native-read paths of every codec on synthetic and real control messages.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use neutrino_bench::figures::serialization::synthetic_schema;
+use neutrino_codec::CodecKind;
+use neutrino_messages::MessageKind;
+
+/// Fig. 18 core loop: encode+read a synthetic message per codec and size.
+fn bench_synthetic(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig18_synthetic_encode_read");
+    for &n in &[3usize, 7, 25] {
+        let (schema, value) = synthetic_schema(n);
+        for kind in [
+            CodecKind::Asn1Per,
+            CodecKind::Fastbuf,
+            CodecKind::Cdr,
+            CodecKind::Lcm,
+            CodecKind::Proto,
+            CodecKind::Flex,
+        ] {
+            let codec = kind.instance();
+            if !codec.supports(&schema) {
+                continue;
+            }
+            group.bench_with_input(BenchmarkId::new(kind.name(), n), &n, |b, _| {
+                let mut buf = Vec::with_capacity(512);
+                b.iter(|| {
+                    codec.encode(&schema, &value, &mut buf).unwrap();
+                    std::hint::black_box(codec.traverse(&schema, &buf).unwrap())
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+/// Fig. 19 core loop: the five real S1AP messages through the three codecs
+/// the paper's systems use.
+fn bench_real_messages(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig19_real_messages");
+    for kind in [
+        MessageKind::InitialContextSetupRequest,
+        MessageKind::InitialContextSetupResponse,
+        MessageKind::ERabSetupRequest,
+        MessageKind::ERabSetupResponse,
+        MessageKind::InitialUeMessage,
+    ] {
+        let schema = kind.schema();
+        let value = kind.sample(3).to_value();
+        for codec_kind in [
+            CodecKind::Asn1Per,
+            CodecKind::Fastbuf,
+            CodecKind::FastbufOptimized,
+        ] {
+            let codec = codec_kind.instance();
+            group.bench_function(BenchmarkId::new(codec_kind.name(), kind.name()), |b| {
+                let mut buf = Vec::with_capacity(1024);
+                b.iter(|| {
+                    codec.encode(&schema, &value, &mut buf).unwrap();
+                    std::hint::black_box(codec.traverse(&schema, &buf).unwrap())
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+/// The UE-state checkpoint that per-procedure replication serializes.
+fn bench_state_sync(c: &mut Criterion) {
+    use neutrino_messages::state::UeState;
+    use neutrino_messages::Wire;
+    let mut group = c.benchmark_group("state_sync_checkpoint");
+    let state = UeState::sample(42);
+    let schema = UeState::schema();
+    let value = state.to_value();
+    for codec_kind in [CodecKind::Asn1Per, CodecKind::FastbufOptimized] {
+        let codec = codec_kind.instance();
+        group.bench_function(codec_kind.name(), |b| {
+            let mut buf = Vec::with_capacity(1024);
+            b.iter(|| {
+                codec.encode(&schema, &value, &mut buf).unwrap();
+                std::hint::black_box(codec.traverse(&schema, &buf).unwrap())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(40).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_synthetic, bench_real_messages, bench_state_sync
+);
+criterion_main!(benches);

@@ -1,0 +1,167 @@
+//! Criterion benchmarks of the substrates: the discrete-event engine, the
+//! consistent hash rings, the CTA message log, and the CPF procedure
+//! machine — the pieces whose per-operation costs everything else rests on.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use neutrino_common::clock::ClockTick;
+use neutrino_common::time::{Duration, Instant};
+use neutrino_common::{BsId, CpfId, CtaId, ProcedureId, UeId, UpfId};
+use neutrino_cpf::{CpfConfig, CpfCore};
+use neutrino_cta::{CtaConfig, CtaCore};
+use neutrino_geo::RingStack;
+use neutrino_messages::procedures::ProcedureKind;
+use neutrino_messages::sysmsg::{S11Response, SessionOp, SysMsg};
+use neutrino_messages::{Envelope, MessageKind};
+use neutrino_netsim::{LinkSpec, Links, Node, NodeEvent, NodeId, Outbox, Sim};
+
+/// A node that forwards each message to a peer (ping-pong pair).
+struct Forwarder {
+    peer: NodeId,
+    hops_left: u32,
+}
+
+impl Node<u32> for Forwarder {
+    fn service_time(&self, _msg: &u32) -> Duration {
+        Duration::from_nanos(500)
+    }
+    fn handle(&mut self, event: NodeEvent<u32>, out: &mut Outbox<u32>) {
+        if let NodeEvent::Message { msg, .. } = event {
+            if msg > 0 {
+                out.send(self.peer, msg - 1);
+            }
+        }
+        self.hops_left = self.hops_left.saturating_sub(1);
+    }
+    fn as_any(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+fn bench_event_engine(c: &mut Criterion) {
+    c.bench_function("netsim_100k_events", |b| {
+        b.iter(|| {
+            let links = Links::with_default(LinkSpec::fixed(Duration::from_micros(5)));
+            let mut sim = Sim::new(links);
+            let a = NodeId::new(1);
+            let bnode = NodeId::new(2);
+            sim.add_node(
+                a,
+                Box::new(Forwarder {
+                    peer: bnode,
+                    hops_left: 0,
+                }),
+            );
+            sim.add_node(
+                bnode,
+                Box::new(Forwarder {
+                    peer: a,
+                    hops_left: 0,
+                }),
+            );
+            // One injected message bounces 100 000 times.
+            sim.inject_at(Instant::ZERO, a, 100_000u32);
+            sim.run_to_completion();
+            std::hint::black_box(sim.events_processed())
+        });
+    });
+}
+
+fn bench_ring_lookup(c: &mut Criterion) {
+    let l1: Vec<CpfId> = (0..5).map(CpfId::new).collect();
+    let l2: Vec<CpfId> = (5..20).map(CpfId::new).collect();
+    let ring = RingStack::new(&l1, &l2, 2);
+    c.bench_function("ring_primary_plus_backups", |b| {
+        let mut ue = 0u64;
+        b.iter(|| {
+            ue += 1;
+            let p = ring.primary(UeId::new(ue));
+            let backs = ring.backups(UeId::new(ue));
+            std::hint::black_box((p, backs))
+        });
+    });
+}
+
+fn ul(ue: u64, proc: u64, kind: ProcedureKind, msg: MessageKind, clock: u64) -> Envelope {
+    let mut e = Envelope::uplink(UeId::new(ue), ProcedureId::new(proc), kind, msg.sample(ue))
+        .from_bs(BsId::new(0));
+    e.clock = ClockTick(clock);
+    e.via_cta = Some(CtaId::new(0));
+    e
+}
+
+fn bench_cta_pipeline(c: &mut Criterion) {
+    c.bench_function("cta_log_route_1k_msgs", |b| {
+        b.iter(|| {
+            let l1: Vec<CpfId> = (0..5).map(CpfId::new).collect();
+            let l2: Vec<CpfId> = (5..20).map(CpfId::new).collect();
+            let mut cta = CtaCore::new(
+                CtaConfig::neutrino(CtaId::new(0), neutrino_codec::CodecKind::FastbufOptimized),
+                RingStack::new(&l1, &l2, 2),
+            );
+            for i in 0..1_000u64 {
+                let env = ul(
+                    i % 64,
+                    i / 64 + 1,
+                    ProcedureKind::ServiceRequest,
+                    MessageKind::ServiceRequest,
+                    0,
+                );
+                std::hint::black_box(cta.on_uplink(env, Instant::ZERO));
+            }
+            std::hint::black_box(cta.log_bytes())
+        });
+    });
+}
+
+fn bench_cpf_attach_machine(c: &mut Criterion) {
+    c.bench_function("cpf_full_attach_procedure", |b| {
+        let l1: Vec<CpfId> = (0..5).map(CpfId::new).collect();
+        let l2: Vec<CpfId> = (5..20).map(CpfId::new).collect();
+        let ring = RingStack::new(&l1, &l2, 2);
+        let mut cpf = CpfCore::new(CpfConfig::neutrino(
+            CpfId::new(0),
+            ring,
+            vec![UpfId::new(0)],
+        ));
+        let mut ue = 0u64;
+        b.iter(|| {
+            ue += 1;
+            let outs1 = cpf.on_control(ul(
+                ue,
+                1,
+                ProcedureKind::InitialAttach,
+                MessageKind::InitialUeMessage,
+                1,
+            ));
+            let outs2 = cpf.handle(SysMsg::S11Resp(S11Response {
+                ue: UeId::new(ue),
+                op: SessionOp::Create,
+                upf: UpfId::new(0),
+                session: Some(neutrino_common::SessionId::new(ue)),
+                ok: true,
+            }));
+            let outs3 = cpf.on_control(ul(
+                ue,
+                1,
+                ProcedureKind::InitialAttach,
+                MessageKind::InitialContextSetupResponse,
+                2,
+            ));
+            let outs4 = cpf.on_control(ul(
+                ue,
+                1,
+                ProcedureKind::InitialAttach,
+                MessageKind::AttachComplete,
+                3,
+            ));
+            std::hint::black_box((outs1, outs2, outs3, outs4))
+        });
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(30).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_event_engine, bench_ring_lookup, bench_cta_pipeline, bench_cpf_attach_machine
+);
+criterion_main!(benches);

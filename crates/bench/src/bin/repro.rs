@@ -1,0 +1,316 @@
+//! Regenerates every table and figure of the paper's evaluation (§6).
+//!
+//! ```text
+//! cargo run -p neutrino-bench --bin repro --release -- all
+//! cargo run -p neutrino-bench --bin repro --release -- fig8 fig10
+//! cargo run -p neutrino-bench --bin repro --release -- fig9 --huge   # 2M-user burst
+//! cargo run -p neutrino-bench --bin repro --release -- all --quick   # small sweep
+//! cargo run -p neutrino-bench --bin repro --release -- all --json out.json
+//! ```
+//!
+//! Absolute latencies come from a calibrated simulator (DESIGN.md §3);
+//! the reproduction target is each figure's *shape*.
+
+use neutrino_bench::figures::{
+    ablation, appsfig, burst, failure, handover, logsize, pct, serialization,
+};
+use neutrino_bench::figures::{PctPoint, Profile};
+use neutrino_bench::render;
+use std::collections::BTreeMap;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let huge = args.iter().any(|a| a == "--huge");
+    let json_path = args
+        .iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    let profile = if quick { Profile::Quick } else { Profile::Full };
+    let mut figs: Vec<String> = args
+        .iter()
+        .filter(|a| a.starts_with("fig") || a.as_str() == "ablation")
+        .cloned()
+        .collect();
+    if figs.is_empty() || args.iter().any(|a| a == "all") {
+        figs = vec![
+            "fig3", "fig7", "fig8", "fig9", "fig10", "fig11", "fig13", "fig14", "fig15", "fig16",
+            "fig17", "fig18", "fig19", "fig20", "ablation",
+        ]
+        .into_iter()
+        .map(String::from)
+        .collect();
+    }
+
+    let mut json: BTreeMap<String, serde_json::Value> = BTreeMap::new();
+    for fig in &figs {
+        let started = std::time::Instant::now();
+        match fig.as_str() {
+            "fig3" => run_fig3(profile, &mut json),
+            "fig7" => run_pct_fig(
+                "Fig. 7: service request PCT (uniform traffic)",
+                "fig7",
+                pct::fig7(profile),
+                &mut json,
+            ),
+            "fig8" => run_pct_fig(
+                "Fig. 8: attach PCT (uniform traffic)",
+                "fig8",
+                pct::fig8(profile),
+                &mut json,
+            ),
+            "fig9" => run_pct_fig(
+                "Fig. 9: attach PCT (bursty IoT traffic, by active users)",
+                "fig9",
+                burst::fig9(profile, huge),
+                &mut json,
+            ),
+            "fig10" => run_pct_fig(
+                "Fig. 10: handover PCT under CPF failure",
+                "fig10",
+                failure::fig10(profile),
+                &mut json,
+            ),
+            "fig11" => run_pct_fig(
+                "Fig. 11: fast handover PCT",
+                "fig11",
+                handover::fig11(profile),
+                &mut json,
+            ),
+            "fig13" => run_drive_fig(
+                "Fig. 13: self-driving car missed deadlines (100 ms budget)",
+                "fig13",
+                appsfig::fig13(profile),
+                &mut json,
+            ),
+            "fig14" => run_drive_fig(
+                "Fig. 14: VR missed deadlines (16 ms budget)",
+                "fig14",
+                appsfig::fig14(profile),
+                &mut json,
+            ),
+            "fig15" => run_pct_fig(
+                "Fig. 15: state synchronization ablation (attach PCT)",
+                "fig15",
+                pct::fig15(profile),
+                &mut json,
+            ),
+            "fig16" => run_pct_fig(
+                "Fig. 16: CTA message logging overhead (attach PCT)",
+                "fig16",
+                pct::fig16(profile),
+                &mut json,
+            ),
+            "fig17" => run_fig17(profile, &mut json),
+            "fig18" => run_fig18(quick, &mut json),
+            "fig19" | "fig20" => run_fig19_20(fig, &mut json),
+            "ablation" => run_ablation(&mut json),
+            other => eprintln!("unknown figure: {other}"),
+        }
+        eprintln!("[{fig} done in {:.1}s]", started.elapsed().as_secs_f64());
+    }
+
+    if let Some(path) = json_path {
+        let body = serde_json::to_string_pretty(&json).expect("serializable");
+        std::fs::write(&path, body).expect("write json");
+        eprintln!("wrote {path}");
+    }
+}
+
+fn run_ablation(json: &mut BTreeMap<String, serde_json::Value>) {
+    use neutrino_common::time::Duration;
+    render::header("Ablation A: backup replica count N (attach, 40K PPS)");
+    let reps = ablation::replica_sweep(40_000, Duration::from_millis(800));
+    for p in &reps {
+        println!(
+            "  N={}  attach p50={:.3}ms  syncs={}  max_log={:.1} KB",
+            p.replicas,
+            p.attach_p50_ms,
+            p.syncs_sent,
+            p.max_log_bytes as f64 / 1e3
+        );
+    }
+    render::header("Ablation B: inter-region latency vs failure recovery (40K PPS)");
+    let lats = ablation::inter_region_sweep(40_000, Duration::from_millis(800));
+    for p in &lats {
+        println!(
+            "  inter-region={:>5}us  Neutrino failure-PCT p50={:.3}ms",
+            p.inter_region_us, p.neutrino_failure_p50_ms
+        );
+    }
+    json.insert(
+        "ablation_replicas".into(),
+        serde_json::to_value(&reps).expect("ser"),
+    );
+    json.insert(
+        "ablation_latency".into(),
+        serde_json::to_value(&lats).expect("ser"),
+    );
+}
+
+fn run_pct_fig(
+    title: &str,
+    key: &str,
+    points: Vec<PctPoint>,
+    json: &mut BTreeMap<String, serde_json::Value>,
+) {
+    render::header(title);
+    let mut by_x: BTreeMap<u64, Vec<&PctPoint>> = BTreeMap::new();
+    for p in &points {
+        by_x.entry(p.x).or_default().push(p);
+    }
+    for (x, ps) in &by_x {
+        for p in ps {
+            render::pct_row(&format_x(*x), &p.system, &p.summary);
+        }
+        // Ratio of the first system over the last (EPC over Neutrino in the
+        // two-system figures).
+        if ps.len() >= 2 {
+            let first = ps.first().expect("non-empty");
+            let best = ps
+                .iter()
+                .filter(|p| p.summary.p50.is_finite())
+                .min_by(|a, b| a.summary.p50.total_cmp(&b.summary.p50));
+            if let Some(best) = best {
+                if best.system != first.system {
+                    render::ratio_note(
+                        &format!("{} over {} at {}", first.system, best.system, format_x(*x)),
+                        first.summary.p50,
+                        best.summary.p50,
+                    );
+                }
+            }
+        }
+    }
+    json.insert(key.to_string(), serde_json::to_value(&points).expect("ser"));
+}
+
+fn run_drive_fig(
+    title: &str,
+    key: &str,
+    points: Vec<appsfig::DrivePoint>,
+    json: &mut BTreeMap<String, serde_json::Value>,
+) {
+    render::header(title);
+    for p in &points {
+        println!(
+            "{:>10}  {:<14} {:<12} missed={}",
+            format_x(p.active_users),
+            p.system,
+            if p.single_handover {
+                "single-HO"
+            } else {
+                "multi-HO"
+            },
+            p.missed_deadlines
+        );
+    }
+    json.insert(key.to_string(), serde_json::to_value(&points).expect("ser"));
+}
+
+fn run_fig3(profile: Profile, json: &mut BTreeMap<String, serde_json::Value>) {
+    render::header("Fig. 3: page load time and video startup delay");
+    let points = appsfig::fig3(profile);
+    for p in &points {
+        println!(
+            "{:>10}  {:<14} video={:>10.1}ms  plt={:>10.1}ms  (sr-pct={:.2}ms)",
+            format_x(p.rate),
+            p.system,
+            p.video_startup_ms,
+            p.page_load_ms,
+            p.pct_ms
+        );
+    }
+    for rate in points
+        .iter()
+        .map(|p| p.rate)
+        .collect::<std::collections::BTreeSet<_>>()
+    {
+        let epc = points
+            .iter()
+            .find(|p| p.rate == rate && p.system == "ExistingEPC");
+        let neu = points
+            .iter()
+            .find(|p| p.rate == rate && p.system == "Neutrino");
+        if let (Some(e), Some(n)) = (epc, neu) {
+            render::ratio_note(
+                &format!("video startup at {}", format_x(rate)),
+                e.video_startup_ms,
+                n.video_startup_ms,
+            );
+            render::ratio_note(
+                &format!("page load at {}", format_x(rate)),
+                e.page_load_ms,
+                n.page_load_ms,
+            );
+        }
+    }
+    json.insert("fig3".into(), serde_json::to_value(&points).expect("ser"));
+}
+
+fn run_fig17(profile: Profile, json: &mut BTreeMap<String, serde_json::Value>) {
+    render::header("Fig. 17: CTA message log size by active users");
+    let points = logsize::fig17(profile);
+    for p in &points {
+        println!(
+            "{:>10}  {:<22} max_log={:.2} MB",
+            format_x(p.users),
+            p.procedure,
+            p.max_log_bytes as f64 / 1e6
+        );
+    }
+    json.insert("fig17".into(), serde_json::to_value(&points).expect("ser"));
+}
+
+fn run_fig18(quick: bool, json: &mut BTreeMap<String, serde_json::Value>) {
+    render::header("Fig. 18: encode+decode speedup vs ASN.1 (synthetic messages)");
+    let elements = if quick {
+        vec![3, 7, 25]
+    } else {
+        serialization::fig18_elements()
+    };
+    let points = serialization::fig18(&elements);
+    for p in &points {
+        println!(
+            "{:>4} elements  {:<10} total={:>8}ns  speedup(raw asn1)={:>6.2}x  speedup(asn1c)={:>6.2}x",
+            p.elements, p.codec, p.total_ns, p.speedup_vs_asn1_raw, p.speedup_vs_asn1c
+        );
+    }
+    json.insert("fig18".into(), serde_json::to_value(&points).expect("ser"));
+}
+
+fn run_fig19_20(which: &str, json: &mut BTreeMap<String, serde_json::Value>) {
+    let rows = serialization::fig19_20();
+    if which == "fig19" {
+        render::header("Fig. 19: encode+decode times, real S1AP messages");
+        for r in &rows {
+            println!(
+                "{:<28} {:<16} total={:>8}ns",
+                r.message, r.codec, r.total_ns
+            );
+        }
+    } else {
+        render::header("Fig. 20: encoded message sizes, real S1AP messages");
+        for r in &rows {
+            if r.codec == "asn1c-emulated" {
+                continue; // same bytes as asn1-per
+            }
+            println!(
+                "{:<28} {:<16} size={:>5} bytes",
+                r.message, r.codec, r.wire_bytes
+            );
+        }
+    }
+    json.insert(which.to_string(), serde_json::to_value(&rows).expect("ser"));
+}
+
+fn format_x(x: u64) -> String {
+    if x >= 1_000_000 && x.is_multiple_of(1_000_000) {
+        format!("{}M", x / 1_000_000)
+    } else if x >= 1_000 {
+        format!("{}K", x / 1_000)
+    } else {
+        x.to_string()
+    }
+}

@@ -1,0 +1,678 @@
+//! An aligned ASN.1 Packed Encoding Rules (PER) subset — the baseline
+//! serializer of existing cellular networks (§3.2).
+//!
+//! The subset keeps exactly the properties the paper identifies as ASN.1's
+//! cost drivers:
+//!
+//! * **bit-level packing** — booleans are one bit, constrained integers use
+//!   `ceil(log2(range))` bits, structs start with a presence preamble of one
+//!   bit per OPTIONAL field;
+//! * **sequential traversal** — no field can be located without decoding
+//!   every preceding bit;
+//! * **decode-time allocation** — decoding materializes an owned tree,
+//!   allocating for every struct, string, and list (as asn1c-generated code
+//!   allocates per information element);
+//! * **length determinants** — unbounded strings/lists carry the standard
+//!   1-or-2-octet aligned determinant; bounded ones use a constrained count.
+//!
+//! In exchange PER produces the smallest messages of all codecs here, which
+//! is why Fig. 20 shows ASN.1 as the size floor.
+
+use crate::bits::{bits_for_range, BitReader, BitWriter};
+use crate::value::{FieldType, Schema, StructSchema, Value};
+use crate::WireFormat;
+use neutrino_common::{Error, Result};
+
+/// The ASN.1 aligned-PER codec.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Asn1Per;
+
+const NAME: &str = "asn1-per";
+
+impl Asn1Per {
+    /// Creates the codec.
+    pub fn new() -> Self {
+        Asn1Per
+    }
+}
+
+impl WireFormat for Asn1Per {
+    fn name(&self) -> &'static str {
+        NAME
+    }
+
+    fn encode(&self, schema: &Schema, value: &Value, out: &mut Vec<u8>) -> Result<()> {
+        out.clear();
+        let mut w = BitWriter::new();
+        encode_struct(schema, value, &mut w)?;
+        *out = w.finish();
+        Ok(())
+    }
+
+    fn decode(&self, schema: &Schema, bytes: &[u8]) -> Result<Value> {
+        let mut r = BitReader::new(bytes);
+        decode_struct(schema, &mut r)
+    }
+}
+
+fn err(detail: impl Into<String>) -> Error {
+    Error::codec(NAME, detail.into())
+}
+
+fn encode_struct(schema: &StructSchema, value: &Value, w: &mut BitWriter) -> Result<()> {
+    let fields = value
+        .as_struct()
+        .ok_or_else(|| err(format!("expected struct for {}", schema.name)))?;
+    if fields.len() != schema.fields.len() {
+        return Err(err(format!(
+            "struct {} arity mismatch: {} vs {}",
+            schema.name,
+            schema.fields.len(),
+            fields.len()
+        )));
+    }
+    // Presence preamble: one bit per OPTIONAL field, in schema order.
+    for (def, val) in schema.fields.iter().zip(fields) {
+        if matches!(def.ty, FieldType::Optional(_)) {
+            match val {
+                Value::Optional(opt) => w.write_bit(opt.is_some()),
+                _ => return Err(err(format!("field {} is not optional-shaped", def.name))),
+            }
+        }
+    }
+    for (def, val) in schema.fields.iter().zip(fields) {
+        match (&def.ty, val) {
+            (FieldType::Optional(inner), Value::Optional(opt)) => {
+                if let Some(v) = opt {
+                    encode_field(inner, v, w)?;
+                }
+            }
+            (ty, v) => encode_field(ty, v, w)?,
+        }
+    }
+    Ok(())
+}
+
+fn encode_field(ty: &FieldType, value: &Value, w: &mut BitWriter) -> Result<()> {
+    match (ty, value) {
+        (FieldType::Bool, Value::Bool(b)) => {
+            w.write_bit(*b);
+            Ok(())
+        }
+        (FieldType::UInt { bits }, Value::U64(x)) => {
+            if *bits == 64 {
+                // Full-range 64-bit fields: aligned fixed octets (constrained
+                // whole numbers cannot span more than an i64 range).
+                w.align();
+                w.write_bytes(&x.to_be_bytes());
+                Ok(())
+            } else {
+                encode_constrained(0, max_for_bits(*bits), *x as i64, w)
+            }
+        }
+        (FieldType::Int, Value::I64(x)) => {
+            // Unconstrained INTEGER: aligned, 1-octet length, minimal
+            // two's-complement octets.
+            w.align();
+            let octets = minimal_twos_complement(*x);
+            w.write_bytes(&[octets.len() as u8]);
+            w.write_bytes(&octets);
+            Ok(())
+        }
+        (FieldType::Constrained { lo, hi }, v) => {
+            let x = crate::value::integer_carrier(v)
+                .ok_or_else(|| err("constrained field is not an integer"))?;
+            if x < *lo || x > *hi {
+                return Err(err(format!("value {x} outside [{lo}, {hi}]")));
+            }
+            encode_constrained(*lo, *hi, x, w)
+        }
+        (FieldType::Enum { variants }, Value::U64(x)) => {
+            encode_constrained(0, i64::from(*variants) - 1, *x as i64, w)
+        }
+        (FieldType::Bytes { max }, Value::Bytes(bs)) => {
+            encode_length(bs.len(), *max, w)?;
+            w.align();
+            w.write_bytes(bs);
+            Ok(())
+        }
+        (FieldType::Utf8 { max }, Value::Str(s)) => {
+            encode_length(s.len(), *max, w)?;
+            w.align();
+            w.write_bytes(s.as_bytes());
+            Ok(())
+        }
+        (FieldType::BitString { max_bits }, Value::Bits(bits)) => {
+            encode_length(bits.len(), *max_bits, w)?;
+            for &b in bits {
+                w.write_bit(b);
+            }
+            Ok(())
+        }
+        (FieldType::Struct(schema), v) => encode_struct(schema, v, w),
+        (FieldType::List { elem, max }, Value::List(items)) => {
+            encode_length(items.len(), *max, w)?;
+            for item in items {
+                encode_field(elem, item, w)?;
+            }
+            Ok(())
+        }
+        (FieldType::Choice(variants), Value::Choice { index, value }) => {
+            let n = variants.len();
+            if *index as usize >= n {
+                return Err(err(format!("choice index {index} out of range")));
+            }
+            encode_constrained(0, n as i64 - 1, i64::from(*index), w)?;
+            encode_field(&variants[*index as usize].ty, value, w)
+        }
+        (FieldType::Optional(inner), Value::Optional(opt)) => {
+            // Standalone optional (e.g. a list element): explicit presence bit.
+            w.write_bit(opt.is_some());
+            if let Some(v) = opt {
+                encode_field(inner, v, w)?;
+            }
+            Ok(())
+        }
+        (ty, v) => Err(err(format!("type mismatch: {ty:?} vs {v:?}"))),
+    }
+}
+
+fn decode_struct(schema: &StructSchema, r: &mut BitReader<'_>) -> Result<Value> {
+    // Presence preamble first.
+    let mut present = Vec::with_capacity(schema.fields.len());
+    for def in &schema.fields {
+        if matches!(def.ty, FieldType::Optional(_)) {
+            present.push(Some(r.read_bit()?));
+        } else {
+            present.push(None);
+        }
+    }
+    let mut fields = Vec::with_capacity(schema.fields.len());
+    for (def, presence) in schema.fields.iter().zip(present) {
+        match (&def.ty, presence) {
+            (FieldType::Optional(inner), Some(true)) => {
+                fields.push(Value::Optional(Some(Box::new(decode_field(inner, r)?))));
+            }
+            (FieldType::Optional(_), Some(false)) => fields.push(Value::Optional(None)),
+            (ty, _) => fields.push(decode_field(ty, r)?),
+        }
+    }
+    Ok(Value::Struct(fields))
+}
+
+fn decode_field(ty: &FieldType, r: &mut BitReader<'_>) -> Result<Value> {
+    match ty {
+        FieldType::Bool => Ok(Value::Bool(r.read_bit()?)),
+        FieldType::UInt { bits } => {
+            if *bits == 64 {
+                r.align();
+                let raw = r.read_bytes(8)?;
+                Ok(Value::U64(u64::from_be_bytes(raw.try_into().expect("8"))))
+            } else {
+                let v = decode_constrained(0, max_for_bits(*bits), r)?;
+                Ok(Value::U64(v as u64))
+            }
+        }
+        FieldType::Int => {
+            r.align();
+            let len = r.read_bytes(1)?[0] as usize;
+            if len == 0 || len > 8 {
+                return Err(err(format!("bad INTEGER length {len}")));
+            }
+            let octets = r.read_bytes(len)?;
+            let mut v: i64 = if octets[0] & 0x80 != 0 { -1 } else { 0 };
+            for &b in octets {
+                v = (v << 8) | i64::from(b);
+            }
+            Ok(Value::I64(v))
+        }
+        FieldType::Constrained { lo, hi } => {
+            let v = decode_constrained(*lo, *hi, r)?;
+            if *lo >= 0 {
+                Ok(Value::U64(v as u64))
+            } else {
+                Ok(Value::I64(v))
+            }
+        }
+        FieldType::Enum { variants } => {
+            let v = decode_constrained(0, i64::from(*variants) - 1, r)?;
+            Ok(Value::U64(v as u64))
+        }
+        FieldType::Bytes { max } => {
+            let len = decode_length(*max, r)?;
+            r.align();
+            Ok(Value::Bytes(r.read_bytes(len)?.to_vec()))
+        }
+        FieldType::Utf8 { max } => {
+            let len = decode_length(*max, r)?;
+            r.align();
+            let bytes = r.read_bytes(len)?;
+            let s = std::str::from_utf8(bytes).map_err(|_| err("invalid UTF-8 in string field"))?;
+            Ok(Value::Str(s.to_owned()))
+        }
+        FieldType::BitString { max_bits } => {
+            let len = decode_length(*max_bits, r)?;
+            let mut bits = Vec::with_capacity(len);
+            for _ in 0..len {
+                bits.push(r.read_bit()?);
+            }
+            Ok(Value::Bits(bits))
+        }
+        FieldType::Struct(schema) => decode_struct(schema, r),
+        FieldType::List { elem, max } => {
+            let len = decode_length(*max, r)?;
+            let mut items = Vec::with_capacity(len);
+            for _ in 0..len {
+                items.push(decode_field(elem, r)?);
+            }
+            Ok(Value::List(items))
+        }
+        FieldType::Choice(variants) => {
+            let idx = decode_constrained(0, variants.len() as i64 - 1, r)? as u32;
+            let var = variants
+                .get(idx as usize)
+                .ok_or_else(|| err(format!("choice index {idx} out of range")))?;
+            Ok(Value::Choice {
+                index: idx,
+                value: Box::new(decode_field(&var.ty, r)?),
+            })
+        }
+        FieldType::Optional(inner) => {
+            let present = r.read_bit()?;
+            if present {
+                Ok(Value::Optional(Some(Box::new(decode_field(inner, r)?))))
+            } else {
+                Ok(Value::Optional(None))
+            }
+        }
+    }
+}
+
+/// Encodes a constrained whole number per aligned PER:
+/// * ranges representable in ≤16 bits are written as an unaligned bit field;
+/// * wider ranges are byte-aligned and written in the minimal number of
+///   whole octets for the range.
+fn encode_constrained(lo: i64, hi: i64, x: i64, w: &mut BitWriter) -> Result<()> {
+    if x < lo || x > hi {
+        return Err(err(format!("value {x} outside [{lo}, {hi}]")));
+    }
+    let range = (hi as i128 - lo as i128) as u128;
+    if range == 0 {
+        return Ok(()); // single-valued: encodes in zero bits
+    }
+    let offset = (x as i128 - lo as i128) as u128;
+    let bits = bits_for_range_u128(range);
+    if bits <= 16 {
+        w.write_bits(offset as u64, bits);
+    } else {
+        w.align();
+        let octets = bits.div_ceil(8) as usize;
+        let be = (offset as u64).to_be_bytes();
+        w.write_bytes(&be[8 - octets..]);
+    }
+    Ok(())
+}
+
+fn decode_constrained(lo: i64, hi: i64, r: &mut BitReader<'_>) -> Result<i64> {
+    let range = (hi as i128 - lo as i128) as u128;
+    if range == 0 {
+        return Ok(lo);
+    }
+    let bits = bits_for_range_u128(range);
+    let offset = if bits <= 16 {
+        r.read_bits(bits)?
+    } else {
+        r.align();
+        let octets = bits.div_ceil(8) as usize;
+        let raw = r.read_bytes(octets)?;
+        let mut v = 0u64;
+        for &b in raw {
+            v = (v << 8) | u64::from(b);
+        }
+        v
+    };
+    let val = lo as i128 + offset as i128;
+    if val > hi as i128 {
+        return Err(err(format!("decoded offset {offset} exceeds range")));
+    }
+    Ok(val as i64)
+}
+
+fn bits_for_range_u128(range: u128) -> u8 {
+    if range <= u64::MAX as u128 {
+        bits_for_range(range as u64)
+    } else {
+        // range == 2^64..2^65-1 can only arise from [i64::MIN, i64::MAX].
+        64
+    }
+}
+
+/// Encodes a length: a constrained count when a max is known and fits 64K,
+/// otherwise the standard aligned general length determinant (1 octet for
+/// < 128, 2 octets `10xxxxxx xxxxxxxx` for < 16384).
+fn encode_length(len: usize, max: Option<u32>, w: &mut BitWriter) -> Result<()> {
+    match max {
+        Some(m) if m < 65_536 => {
+            if len > m as usize {
+                return Err(err(format!("length {len} exceeds bound {m}")));
+            }
+            encode_constrained(0, i64::from(m), len as i64, w)
+        }
+        _ => {
+            w.align();
+            if len < 128 {
+                w.write_bytes(&[len as u8]);
+                Ok(())
+            } else if len < 16_384 {
+                let v = 0x8000u16 | len as u16;
+                w.write_bytes(&v.to_be_bytes());
+                Ok(())
+            } else {
+                Err(err(format!(
+                    "length {len} needs fragmentation (unsupported)"
+                )))
+            }
+        }
+    }
+}
+
+fn decode_length(max: Option<u32>, r: &mut BitReader<'_>) -> Result<usize> {
+    match max {
+        Some(m) if m < 65_536 => Ok(decode_constrained(0, i64::from(m), r)? as usize),
+        _ => {
+            r.align();
+            let first = r.read_bytes(1)?[0];
+            if first & 0x80 == 0 {
+                Ok(first as usize)
+            } else if first & 0xC0 == 0x80 {
+                let second = r.read_bytes(1)?[0];
+                Ok(((usize::from(first) & 0x3F) << 8) | usize::from(second))
+            } else {
+                Err(err("fragmented length determinant (unsupported)"))
+            }
+        }
+    }
+}
+
+fn max_for_bits(bits: u8) -> i64 {
+    match bits {
+        8 => 0xFF,
+        16 => 0xFFFF,
+        32 => 0xFFFF_FFFF,
+        // 64-bit fields take the raw-octet path in encode/decode.
+        64 => i64::MAX,
+        other => (1i64 << other) - 1,
+    }
+}
+
+fn minimal_twos_complement(x: i64) -> Vec<u8> {
+    let be = x.to_be_bytes();
+    let mut start = 0;
+    while start < 7 {
+        let cur = be[start];
+        let next = be[start + 1];
+        // Drop a leading octet if it is pure sign extension.
+        if (cur == 0x00 && next & 0x80 == 0) || (cur == 0xFF && next & 0x80 != 0) {
+            start += 1;
+        } else {
+            break;
+        }
+    }
+    be[start..].to_vec()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::{StructSchema, Variant};
+    use std::sync::Arc;
+
+    fn round_trip(schema: &Schema, value: &Value) -> Vec<u8> {
+        let codec = Asn1Per::new();
+        let mut buf = Vec::new();
+        codec.encode(schema, value, &mut buf).unwrap();
+        let back = codec.decode(schema, &buf).unwrap();
+        assert_eq!(&back, value, "round trip mismatch");
+        buf
+    }
+
+    #[test]
+    fn booleans_pack_into_bits() {
+        let schema = StructSchema::builder("Flags")
+            .field("a", FieldType::Bool)
+            .field("b", FieldType::Bool)
+            .field("c", FieldType::Bool)
+            .build();
+        let v = Value::Struct(vec![
+            Value::Bool(true),
+            Value::Bool(false),
+            Value::Bool(true),
+        ]);
+        let buf = round_trip(&schema, &v);
+        assert_eq!(buf.len(), 1, "three bools must fit one octet");
+    }
+
+    #[test]
+    fn constrained_int_uses_minimal_bits() {
+        // range 0..=7 → 3 bits; two of them + 2 bools = 8 bits exactly.
+        let schema = StructSchema::builder("Small")
+            .field("x", FieldType::Constrained { lo: 0, hi: 7 })
+            .field("y", FieldType::Constrained { lo: 0, hi: 7 })
+            .field("f1", FieldType::Bool)
+            .field("f2", FieldType::Bool)
+            .build();
+        let v = Value::Struct(vec![
+            Value::U64(5),
+            Value::U64(2),
+            Value::Bool(true),
+            Value::Bool(false),
+        ]);
+        let buf = round_trip(&schema, &v);
+        assert_eq!(buf.len(), 1);
+    }
+
+    #[test]
+    fn negative_constrained_round_trips() {
+        let schema = StructSchema::builder("Neg")
+            .field("t", FieldType::Constrained { lo: -100, hi: 100 })
+            .build();
+        for x in [-100i64, -1, 0, 57, 100] {
+            let v = Value::Struct(vec![if x >= 0 {
+                Value::U64(x as u64)
+            } else {
+                Value::I64(x)
+            }]);
+            let codec = Asn1Per::new();
+            let mut buf = Vec::new();
+            codec.encode(&schema, &v, &mut buf).unwrap();
+            let back = codec.decode(&schema, &buf).unwrap();
+            let got = back.as_struct().unwrap()[0].clone();
+            let got_i = crate::value::integer_carrier(&got).unwrap();
+            assert_eq!(got_i, x);
+        }
+    }
+
+    #[test]
+    fn wide_constrained_aligns_to_octets() {
+        let schema = StructSchema::builder("Wide")
+            .field("flag", FieldType::Bool)
+            .field(
+                "teid",
+                FieldType::Constrained {
+                    lo: 0,
+                    hi: 0xFFFF_FFFF,
+                },
+            )
+            .build();
+        let v = Value::Struct(vec![Value::Bool(true), Value::U64(0xDEAD_BEEF)]);
+        let buf = round_trip(&schema, &v);
+        // 1 bit flag, align (7 bits pad), 4 octets TEID.
+        assert_eq!(buf.len(), 5);
+    }
+
+    #[test]
+    fn unconstrained_int_minimal_octets() {
+        let schema = StructSchema::builder("I")
+            .field("x", FieldType::Int)
+            .build();
+        for (x, expect_len) in [
+            (0i64, 1usize),
+            (127, 1),
+            (128, 2),
+            (-1, 1),
+            (-129, 2),
+            (i64::MAX, 8),
+            (i64::MIN, 8),
+        ] {
+            let v = Value::Struct(vec![Value::I64(x)]);
+            let codec = Asn1Per::new();
+            let mut buf = Vec::new();
+            codec.encode(&schema, &v, &mut buf).unwrap();
+            assert_eq!(buf.len(), 1 + expect_len, "for {x}");
+            assert_eq!(codec.decode(&schema, &buf).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn optional_preamble_bits() {
+        let schema = StructSchema::builder("Opt")
+            .field(
+                "a",
+                FieldType::Optional(Box::new(FieldType::UInt { bits: 8 })),
+            )
+            .field(
+                "b",
+                FieldType::Optional(Box::new(FieldType::UInt { bits: 8 })),
+            )
+            .build();
+        let both_absent = Value::Struct(vec![Value::none(), Value::none()]);
+        let buf = round_trip(&schema, &both_absent);
+        assert_eq!(buf.len(), 1, "two preamble bits only");
+        let one_present = Value::Struct(vec![Value::some(Value::U64(200)), Value::none()]);
+        round_trip(&schema, &one_present);
+    }
+
+    #[test]
+    fn strings_and_bytes_round_trip() {
+        let schema = StructSchema::builder("S")
+            .field("name", FieldType::Utf8 { max: Some(64) })
+            .field("blob", FieldType::Bytes { max: None })
+            .build();
+        let v = Value::Struct(vec![
+            Value::Str("tracking-area-42".into()),
+            Value::Bytes((0..200).map(|i| i as u8).collect()),
+        ]);
+        round_trip(&schema, &v);
+    }
+
+    #[test]
+    fn long_unbounded_length_uses_two_octets() {
+        let schema = StructSchema::builder("B")
+            .field("blob", FieldType::Bytes { max: None })
+            .build();
+        let v = Value::Struct(vec![Value::Bytes(vec![7u8; 1000])]);
+        let buf = round_trip(&schema, &v);
+        assert_eq!(buf.len(), 2 + 1000);
+    }
+
+    #[test]
+    fn bounded_length_rejected_when_exceeded() {
+        let schema = StructSchema::builder("B")
+            .field("blob", FieldType::Bytes { max: Some(4) })
+            .build();
+        let v = Value::Struct(vec![Value::Bytes(vec![0u8; 5])]);
+        let codec = Asn1Per::new();
+        let mut buf = Vec::new();
+        assert!(codec.encode(&schema, &v, &mut buf).is_err());
+    }
+
+    #[test]
+    fn bit_string_round_trips() {
+        let schema = StructSchema::builder("BS")
+            .field("mask", FieldType::BitString { max_bits: Some(40) })
+            .build();
+        let bits: Vec<bool> = (0..27).map(|i| i % 3 == 0).collect();
+        let v = Value::Struct(vec![Value::Bits(bits)]);
+        round_trip(&schema, &v);
+    }
+
+    #[test]
+    fn nested_struct_and_list() {
+        let inner = Arc::new(
+            StructSchema::builder("Bearer")
+                .field("id", FieldType::Constrained { lo: 0, hi: 15 })
+                .field("qci", FieldType::Constrained { lo: 1, hi: 9 })
+                .build(),
+        );
+        let schema = StructSchema::builder("Session")
+            .field(
+                "bearers",
+                FieldType::List {
+                    elem: Box::new(FieldType::Struct(inner)),
+                    max: Some(11),
+                },
+            )
+            .build();
+        let v = Value::Struct(vec![Value::List(vec![
+            Value::Struct(vec![Value::U64(5), Value::U64(9)]),
+            Value::Struct(vec![Value::U64(6), Value::U64(1)]),
+        ])]);
+        round_trip(&schema, &v);
+    }
+
+    #[test]
+    fn choice_round_trips() {
+        let schema = StructSchema::builder("C")
+            .field(
+                "id",
+                FieldType::Choice(vec![
+                    Variant {
+                        name: "tmsi".into(),
+                        ty: FieldType::UInt { bits: 32 },
+                    },
+                    Variant {
+                        name: "imsi".into(),
+                        ty: FieldType::Utf8 { max: Some(15) },
+                    },
+                ]),
+            )
+            .build();
+        round_trip(
+            &schema,
+            &Value::Struct(vec![Value::choice(0, Value::U64(0xABCD_1234))]),
+        );
+        round_trip(
+            &schema,
+            &Value::Struct(vec![Value::choice(1, Value::Str("001010123456789".into()))]),
+        );
+    }
+
+    #[test]
+    fn truncated_input_is_an_error_not_a_panic() {
+        let schema = StructSchema::builder("S")
+            .field("x", FieldType::UInt { bits: 32 })
+            .field("name", FieldType::Utf8 { max: None })
+            .build();
+        let v = Value::Struct(vec![Value::U64(7), Value::Str("hello".into())]);
+        let codec = Asn1Per::new();
+        let mut buf = Vec::new();
+        codec.encode(&schema, &v, &mut buf).unwrap();
+        for cut in 0..buf.len() {
+            let _ = codec.decode(&schema, &buf[..cut]); // must not panic
+        }
+    }
+
+    #[test]
+    fn traverse_matches_checksum_of_decode() {
+        let schema = StructSchema::builder("S")
+            .field("x", FieldType::UInt { bits: 16 })
+            .field("s", FieldType::Utf8 { max: Some(8) })
+            .build();
+        let v = Value::Struct(vec![Value::U64(999), Value::Str("abc".into())]);
+        let codec = Asn1Per::new();
+        let mut buf = Vec::new();
+        codec.encode(&schema, &v, &mut buf).unwrap();
+        let t = codec.traverse(&schema, &buf).unwrap();
+        assert_eq!(t, crate::checksum_value(&v));
+    }
+}

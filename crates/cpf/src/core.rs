@@ -1,0 +1,1285 @@
+//! The CPF state machine: generic procedure execution over the templates of
+//! `neutrino-messages`, per-procedure (or per-message) state replication,
+//! replica duties, and failure recovery.
+
+use crate::store::{Freshness, StateStore};
+use neutrino_common::clock::ClockTick;
+use neutrino_common::{BsId, CpfId, CtaId, ProcedureId, UeId, UpfId};
+use neutrino_geo::RingStack;
+use neutrino_messages::control::{ControlMessage, Direction, Envelope, MessageKind};
+use neutrino_messages::ies::Tai;
+use neutrino_messages::procedures::ProcedureKind;
+use neutrino_messages::state::UeState;
+use neutrino_messages::sysmsg::{
+    MarkOutdated, Replay, S11Request, S11Response, SessionOp, StateSync, SyncAck, SyncPurpose,
+    SysMsg,
+};
+use neutrino_messages::Wire;
+use std::collections::HashMap;
+
+/// When UE state is checkpointed to backups (§4.2.2, ablated in Fig. 15).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplicationMode {
+    /// No replication (existing EPC, DPCM, Fig. 15's "No Rep").
+    None,
+    /// After every control message (SkyCore, Fig. 15's "Per Msg Rep").
+    PerMessage,
+    /// After every completed procedure (Neutrino, Fig. 15's "Per Proc Rep").
+    PerProcedure,
+}
+
+/// CPF configuration.
+#[derive(Debug, Clone)]
+pub struct CpfConfig {
+    /// This CPF's id.
+    pub id: CpfId,
+    /// Replication mode.
+    pub replication: ReplicationMode,
+    /// The two-level ring stack for choosing backup replicas (Neutrino). In
+    /// `PerMessage` mode with no rings, `peers` is broadcast to instead.
+    pub ring: Option<RingStack>,
+    /// Pool peers (SkyCore's broadcast set).
+    pub peers: Vec<CpfId>,
+    /// CPFs of sibling regions: where a handover-with-CPF-change migrates
+    /// state when no ring is configured (edge deployments hand over across
+    /// regions by definition).
+    pub remote_peers: Vec<CpfId>,
+    /// The UPFs this CPF may place sessions on.
+    pub upfs: Vec<UpfId>,
+    /// Refuse to serve a UE whose state is missing or marked outdated, by
+    /// asking it to re-attach (§4.2.4 step 3). Neutrino: true. SkyCore
+    /// serves whatever state it has: false (missing state still re-attaches;
+    /// there is nothing to serve from).
+    pub enforce_consistency: bool,
+    /// The CTA fronting this CPF's region (unsolicited downlink routing,
+    /// e.g. paging).
+    pub home_cta: CtaId,
+    /// DPCM \[37\]: device-provided state lets the CPF answer immediately and
+    /// run the UPF session operation in parallel instead of blocking the
+    /// response on it.
+    pub parallel_upf: bool,
+}
+
+impl CpfConfig {
+    /// Neutrino CPF: per-procedure replication onto the level-2 ring,
+    /// consistency enforced.
+    pub fn neutrino(id: CpfId, ring: RingStack, upfs: Vec<UpfId>) -> Self {
+        CpfConfig {
+            id,
+            replication: ReplicationMode::PerProcedure,
+            ring: Some(ring),
+            peers: Vec::new(),
+            remote_peers: Vec::new(),
+            upfs,
+            home_cta: CtaId::new(0),
+            enforce_consistency: true,
+            parallel_upf: false,
+        }
+    }
+
+    /// Existing-EPC CPF: no replication; UEs re-attach after failures.
+    pub fn epc(id: CpfId, peers: Vec<CpfId>, upfs: Vec<UpfId>) -> Self {
+        CpfConfig {
+            id,
+            replication: ReplicationMode::None,
+            ring: None,
+            peers,
+            remote_peers: Vec::new(),
+            upfs,
+            home_cta: CtaId::new(0),
+            enforce_consistency: true,
+            parallel_upf: false,
+        }
+    }
+
+    /// SkyCore CPF: per-message broadcast to pool peers, no consistency
+    /// checks.
+    pub fn skycore(id: CpfId, peers: Vec<CpfId>, upfs: Vec<UpfId>) -> Self {
+        CpfConfig {
+            id,
+            replication: ReplicationMode::PerMessage,
+            ring: None,
+            peers,
+            remote_peers: Vec::new(),
+            upfs,
+            home_cta: CtaId::new(0),
+            enforce_consistency: false,
+            parallel_upf: false,
+        }
+    }
+}
+
+/// An action the CPF asks its driver to perform.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CpfOutput {
+    /// Send to the CTA (downlink envelopes, sync ACKs, re-attach relays).
+    ToCta {
+        /// Destination CTA.
+        cta: CtaId,
+        /// Payload.
+        msg: SysMsg,
+    },
+    /// Send to a peer CPF (state syncs, migrations, fetches).
+    ToCpf {
+        /// Destination CPF.
+        cpf: CpfId,
+        /// Payload.
+        msg: SysMsg,
+    },
+    /// Send to a UPF (S11 session operations).
+    ToUpf {
+        /// Destination UPF.
+        upf: UpfId,
+        /// Payload.
+        msg: SysMsg,
+    },
+}
+
+/// Counters for tests and experiment output.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CpfMetrics {
+    /// Control messages processed (live, not replayed).
+    pub processed: u64,
+    /// Messages applied during log replays.
+    pub replayed: u64,
+    /// Procedures completed.
+    pub completed: u64,
+    /// State checkpoints sent.
+    pub syncs_sent: u64,
+    /// State checkpoints/migrations applied as replica.
+    pub syncs_applied: u64,
+    /// Checkpoints ignored because the UE was marked outdated.
+    pub syncs_ignored: u64,
+    /// Re-attach requests issued (stale-state guard).
+    pub re_attach_asked: u64,
+    /// Handover state migrations performed (as source).
+    pub migrations: u64,
+    /// Paging messages sent (downlink-data notifications served).
+    pub pages_sent: u64,
+    /// Paging requests dropped for lack of consistent UE state — the §3.1
+    /// reachability disruption.
+    pub pages_failed: u64,
+}
+
+/// What the CPF is waiting on before continuing a procedure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Waiting {
+    Upf { step: usize },
+    Migration { step: usize },
+}
+
+/// Per-UE procedure progress.
+#[derive(Debug, Clone)]
+struct Progress {
+    procedure: ProcedureId,
+    kind: ProcedureKind,
+    /// Index of the next template step not yet executed.
+    next_step: usize,
+    last_ul_clock: ClockTick,
+    cta: CtaId,
+    bs: BsId,
+    waiting: Option<Waiting>,
+    /// The handover state migration already happened for this procedure.
+    migrated: bool,
+}
+
+/// The Control Plane Function state machine.
+pub struct CpfCore {
+    config: CpfConfig,
+    store: StateStore,
+    progress: HashMap<UeId, Progress>,
+    metrics: CpfMetrics,
+}
+
+impl CpfCore {
+    /// Creates a CPF.
+    pub fn new(config: CpfConfig) -> Self {
+        CpfCore {
+            config,
+            store: StateStore::new(),
+            progress: HashMap::new(),
+            metrics: CpfMetrics::default(),
+        }
+    }
+
+    /// This CPF's id.
+    pub fn id(&self) -> CpfId {
+        self.config.id
+    }
+
+    /// Counters.
+    pub fn metrics(&self) -> CpfMetrics {
+        self.metrics
+    }
+
+    /// Read access to the state store (tests, consistency checks).
+    pub fn store(&self) -> &StateStore {
+        &self.store
+    }
+
+    /// The backups this CPF checkpoints a UE's state to.
+    pub fn backups_for(&self, ue: UeId) -> Vec<CpfId> {
+        match (&self.config.ring, self.config.replication) {
+            (Some(ring), _) => ring
+                .backups(ue)
+                .into_iter()
+                .filter(|b| *b != self.config.id)
+                .collect(),
+            (None, ReplicationMode::PerMessage) => self
+                .config
+                .peers
+                .iter()
+                .copied()
+                .filter(|p| *p != self.config.id)
+                .collect(),
+            _ => Vec::new(),
+        }
+    }
+
+    /// The migration target for a handover with CPF change: the first
+    /// level-2 backup (where a proactive replica would live), else a
+    /// sibling-region CPF, else a pool peer.
+    fn migration_target(&self, ue: UeId) -> Option<CpfId> {
+        self.backups_for(ue)
+            .first()
+            .copied()
+            .or_else(|| {
+                self.config
+                    .remote_peers
+                    .get(ue.raw() as usize % self.config.remote_peers.len().max(1))
+                    .copied()
+            })
+            .or_else(|| {
+                self.config
+                    .peers
+                    .iter()
+                    .copied()
+                    .find(|p| *p != self.config.id)
+            })
+    }
+
+    fn upf_for(&self, ue: UeId) -> UpfId {
+        let n = self.config.upfs.len().max(1);
+        *self
+            .config
+            .upfs
+            .get(ue.raw() as usize % n)
+            .unwrap_or(&UpfId::new(0))
+    }
+
+    /// Handles any system message addressed to this CPF.
+    pub fn handle(&mut self, msg: SysMsg) -> Vec<CpfOutput> {
+        match msg {
+            SysMsg::Control(env) => self.on_control(env),
+            SysMsg::StateSync(sync) => self.on_state_sync(sync),
+            SysMsg::MarkOutdated(m) => self.on_mark_outdated(m),
+            SysMsg::Replay(r) => self.on_replay(r),
+            SysMsg::FetchState { ue, requester } => self.on_fetch_state(ue, requester),
+            SysMsg::FetchStateResp { ue, state } => self.on_fetch_resp(ue, state),
+            SysMsg::S11Resp(resp) => self.on_s11_resp(resp),
+            SysMsg::DdnRequest { ue, .. } => self.on_ddn(ue),
+            SysMsg::MigrationAck { ue } => self.on_migration_ack(ue),
+            other => {
+                debug_assert!(false, "CPF received unexpected {}", other.label());
+                Vec::new()
+            }
+        }
+    }
+
+    /// Processes one live uplink control message.
+    pub fn on_control(&mut self, env: Envelope) -> Vec<CpfOutput> {
+        self.metrics.processed += 1;
+        self.process(env, false)
+    }
+
+    /// Replays logged messages to reconstruct state (§4.2.5 scenario 2).
+    /// Side effects that already happened in the outside world (downlink
+    /// responses, UPF operations) are suppressed; state mutations, progress
+    /// tracking, and checkpointing are not.
+    pub fn on_replay(&mut self, replay: Replay) -> Vec<CpfOutput> {
+        let mut out = Vec::new();
+        for env in replay.messages {
+            self.metrics.replayed += 1;
+            out.extend(self.process(env, true));
+        }
+        out
+    }
+
+    fn process(&mut self, env: Envelope, replaying: bool) -> Vec<CpfOutput> {
+        let ue = env.ue;
+        let cta = env.via_cta.unwrap_or(CtaId::new(0));
+        let template = env.proc_kind.template();
+        let mut out = Vec::new();
+
+        let attach_start = matches!(
+            env.proc_kind,
+            ProcedureKind::InitialAttach | ProcedureKind::ReAttach
+        ) && env.msg.kind() == template.steps[0].kind;
+
+        if attach_start {
+            // (Re-)attach creates fresh, consistent state (§4.2.1).
+            let mut state = UeState::new(ue, env.bs, self.upf_for(ue), Tai::sample(ue.raw()));
+            state.connected = true;
+            self.store.put(state);
+            self.progress.remove(&ue);
+        } else {
+            // Stale-state guard (§4.2.4 step 3): a CPF with no state — or,
+            // when consistency is enforced, outdated state — must not serve.
+            let has_state = self.store.get(ue).is_some();
+            let servable = self.store.servable(ue);
+            if !has_state || (self.config.enforce_consistency && !servable) {
+                if !replaying {
+                    self.metrics.re_attach_asked += 1;
+                    out.push(CpfOutput::ToCta {
+                        cta,
+                        msg: SysMsg::RelayReAttach { ue, bs: env.bs },
+                    });
+                }
+                return out;
+            }
+        }
+
+        // Track progress; a different procedure id restarts tracking.
+        let restart = self
+            .progress
+            .get(&ue)
+            .map(|p| p.procedure != env.procedure)
+            .unwrap_or(true);
+        if restart {
+            self.progress.insert(
+                ue,
+                Progress {
+                    procedure: env.procedure,
+                    kind: env.proc_kind,
+                    next_step: 0,
+                    last_ul_clock: ClockTick::ZERO,
+                    cta,
+                    bs: env.bs,
+                    waiting: None,
+                    migrated: false,
+                },
+            );
+        }
+        {
+            let progress = self.progress.get_mut(&ue).expect("just ensured");
+            progress.cta = cta;
+            progress.bs = env.bs;
+            // Locate this uplink message in the template at/after the cursor.
+            let pos = template.steps[progress.next_step..]
+                .iter()
+                .position(|s| s.direction == Direction::Uplink && s.kind == env.msg.kind());
+            match pos {
+                Some(rel) => progress.next_step += rel + 1,
+                None => return out, // duplicate/out-of-order: ignore
+            }
+            progress.last_ul_clock = env.clock;
+            progress.waiting = None;
+        }
+        self.apply_message(ue, &env.msg);
+
+        // An uplink step may itself carry a UPF interaction (e.g. the
+        // modify-bearer after an ICS Response). It is fire-and-forget: the
+        // procedure does not block on it.
+        if !replaying {
+            let progress = self.progress.get(&ue).expect("present");
+            let consumed = template.steps[progress.next_step - 1];
+            if consumed.upf_interaction {
+                let op = session_op(env.proc_kind, consumed.kind);
+                let session = self.store.get(ue).and_then(|r| r.state.session);
+                let upf = self
+                    .store
+                    .get(ue)
+                    .map(|r| r.state.serving_upf)
+                    .unwrap_or_else(|| self.upf_for(ue));
+                out.push(CpfOutput::ToUpf {
+                    upf,
+                    msg: SysMsg::S11(S11Request {
+                        ue,
+                        cpf: self.config.id,
+                        op,
+                        session,
+                    }),
+                });
+            }
+        }
+
+        if self.config.replication == ReplicationMode::PerMessage && !replaying {
+            out.extend(self.checkpoint(ue, env.procedure, env.clock, cta));
+        }
+
+        out.extend(self.drive(ue, replaying));
+        out
+    }
+
+    /// Emits pending downlink steps until the procedure waits or finishes.
+    fn drive(&mut self, ue: UeId, replaying: bool) -> Vec<CpfOutput> {
+        let mut out = Vec::new();
+        loop {
+            let progress = match self.progress.get_mut(&ue) {
+                Some(p) => p,
+                None => return out,
+            };
+            if progress.waiting.is_some() {
+                return out;
+            }
+            let template = progress.kind.template();
+            if progress.next_step >= template.steps.len() {
+                out.extend(self.complete_procedure(ue));
+                return out;
+            }
+            let step = template.steps[progress.next_step];
+            if step.direction == Direction::Uplink {
+                // Waiting for the UE/BS's next message.
+                return out;
+            }
+            // A downlink step. Migration first (handover with CPF change),
+            // then the UPF interaction, then the message itself.
+            if step.requires_state_migration && !progress.migrated && !replaying {
+                let step_idx = progress.next_step;
+                progress.waiting = Some(Waiting::Migration { step: step_idx });
+                let (procedure, cta, clock) =
+                    (progress.procedure, progress.cta, progress.last_ul_clock);
+                if let Some(target) = self.migration_target(ue) {
+                    self.metrics.migrations += 1;
+                    let state = self
+                        .store
+                        .get(ue)
+                        .map(|r| r.state.clone())
+                        .expect("serving implies state");
+                    out.push(CpfOutput::ToCpf {
+                        cpf: target,
+                        msg: SysMsg::StateSync(StateSync {
+                            ue,
+                            primary: self.config.id,
+                            cta,
+                            state,
+                            procedure,
+                            end_clock: clock,
+                            purpose: SyncPurpose::Migration,
+                        }),
+                    });
+                    return out;
+                }
+                // Nowhere to migrate (single-CPF deployments): continue.
+                let progress = self.progress.get_mut(&ue).expect("present");
+                progress.waiting = None;
+            }
+            let progress = self.progress.get_mut(&ue).expect("present");
+            let step = template.steps[progress.next_step];
+            if step.upf_interaction && !replaying {
+                let parallel = self.config.parallel_upf;
+                if !parallel {
+                    progress.waiting = Some(Waiting::Upf {
+                        step: progress.next_step,
+                    });
+                }
+                let kind = progress.kind;
+                let op = session_op(kind, step.kind);
+                let session = self.store.get(ue).and_then(|r| r.state.session);
+                let upf = self
+                    .store
+                    .get(ue)
+                    .map(|r| r.state.serving_upf)
+                    .unwrap_or_else(|| self.upf_for(ue));
+                out.push(CpfOutput::ToUpf {
+                    upf,
+                    msg: SysMsg::S11(S11Request {
+                        ue,
+                        cpf: self.config.id,
+                        op,
+                        session,
+                    }),
+                });
+                if !parallel {
+                    return out;
+                }
+                // DPCM: fall through and emit the downlink immediately.
+            }
+            out.extend(self.emit_downlink(ue, replaying));
+        }
+    }
+
+    /// Emits the downlink message at the cursor and advances it.
+    fn emit_downlink(&mut self, ue: UeId, replaying: bool) -> Vec<CpfOutput> {
+        let progress = self.progress.get_mut(&ue).expect("present");
+        let template = progress.kind.template();
+        let step = template.steps[progress.next_step];
+        debug_assert_eq!(step.direction, Direction::Downlink);
+        let is_last = progress.next_step + 1 == template.steps.len();
+        let mut env = Envelope::downlink(
+            ue,
+            progress.procedure,
+            progress.kind,
+            build_downlink(step.kind, ue),
+        )
+        .from_bs(progress.bs);
+        env.via_cta = Some(progress.cta);
+        if is_last {
+            env = env.ending_procedure();
+        }
+        progress.next_step += 1;
+        let cta = progress.cta;
+        let mut out = Vec::new();
+        if !replaying {
+            out.push(CpfOutput::ToCta {
+                cta,
+                msg: SysMsg::Control(env),
+            });
+        }
+        out
+    }
+
+    /// Finishes a procedure: bump the state version and checkpoint (§4.2.2).
+    fn complete_procedure(&mut self, ue: UeId) -> Vec<CpfOutput> {
+        let progress = match self.progress.remove(&ue) {
+            Some(p) => p,
+            None => return Vec::new(),
+        };
+        self.metrics.completed += 1;
+        let mut out = Vec::new();
+        let mut detached = false;
+        if let Some(rec) = self.store.get_mut(ue) {
+            rec.state.commit(progress.procedure, progress.last_ul_clock);
+            detached = !rec.state.attached && progress.kind == ProcedureKind::Detach;
+        }
+        if detached {
+            self.store.remove(ue);
+            return out;
+        }
+        if self.config.replication == ReplicationMode::PerProcedure {
+            out.extend(self.checkpoint(
+                ue,
+                progress.procedure,
+                progress.last_ul_clock,
+                progress.cta,
+            ));
+        }
+        out
+    }
+
+    /// Sends the state checkpoint to every backup.
+    fn checkpoint(
+        &mut self,
+        ue: UeId,
+        procedure: ProcedureId,
+        end_clock: ClockTick,
+        cta: CtaId,
+    ) -> Vec<CpfOutput> {
+        let state = match self.store.get(ue) {
+            Some(rec) => rec.state.clone(),
+            None => return Vec::new(),
+        };
+        let mut out = Vec::new();
+        for backup in self.backups_for(ue) {
+            self.metrics.syncs_sent += 1;
+            out.push(CpfOutput::ToCpf {
+                cpf: backup,
+                msg: SysMsg::StateSync(StateSync {
+                    ue,
+                    primary: self.config.id,
+                    cta,
+                    state: state.clone(),
+                    procedure,
+                    end_clock,
+                    purpose: SyncPurpose::Checkpoint,
+                }),
+            });
+        }
+        out
+    }
+
+    /// Replica duty: adopt a state checkpoint and ACK it (§4.2.3 steps 2–3),
+    /// or adopt a migration and ACK the source CPF.
+    pub fn on_state_sync(&mut self, sync: StateSync) -> Vec<CpfOutput> {
+        let adopted = self.store.apply_sync(sync.state, sync.end_clock);
+        if adopted {
+            self.metrics.syncs_applied += 1;
+        } else {
+            self.metrics.syncs_ignored += 1;
+        }
+        match sync.purpose {
+            SyncPurpose::Checkpoint => {
+                if adopted {
+                    vec![CpfOutput::ToCta {
+                        cta: sync.cta,
+                        msg: SysMsg::SyncAck(SyncAck {
+                            ue: sync.ue,
+                            replica: self.config.id,
+                            procedure: sync.procedure,
+                            end_clock: sync.end_clock,
+                        }),
+                    }]
+                } else {
+                    Vec::new()
+                }
+            }
+            SyncPurpose::Migration => vec![CpfOutput::ToCpf {
+                cpf: sync.primary,
+                msg: SysMsg::MigrationAck { ue: sync.ue },
+            }],
+        }
+    }
+
+    /// Source-side continuation after the migration target confirmed.
+    pub fn on_migration_ack(&mut self, ue: UeId) -> Vec<CpfOutput> {
+        if let Some(progress) = self.progress.get_mut(&ue) {
+            if matches!(progress.waiting, Some(Waiting::Migration { .. })) {
+                progress.waiting = None;
+                progress.migrated = true;
+                return self.drive(ue, false);
+            }
+        }
+        Vec::new()
+    }
+
+    /// CTA notice that this replica's copy is outdated (§4.2.4 steps 1a–1c):
+    /// mark it and try to fetch fresh state.
+    pub fn on_mark_outdated(&mut self, m: MarkOutdated) -> Vec<CpfOutput> {
+        self.store.mark_outdated(m.ue, m.clock);
+        match m.up_to_date.iter().find(|c| **c != self.config.id) {
+            Some(holder) => vec![CpfOutput::ToCpf {
+                cpf: *holder,
+                msg: SysMsg::FetchState {
+                    ue: m.ue,
+                    requester: self.config.id,
+                },
+            }],
+            None => Vec::new(),
+        }
+    }
+
+    /// Answers a peer's state fetch.
+    pub fn on_fetch_state(&mut self, ue: UeId, requester: CpfId) -> Vec<CpfOutput> {
+        let state = self
+            .store
+            .get(ue)
+            .filter(|r| r.freshness == Freshness::UpToDate)
+            .map(|r| Box::new(r.state.clone()));
+        vec![CpfOutput::ToCpf {
+            cpf: requester,
+            msg: SysMsg::FetchStateResp { ue, state },
+        }]
+    }
+
+    /// Adopts a fetched state (§4.2.4 step 1c: "marks UE's state
+    /// up-to-date") — unless the local copy is already newer (a checkpoint
+    /// may have raced the fetch).
+    pub fn on_fetch_resp(&mut self, ue: UeId, state: Option<Box<UeState>>) -> Vec<CpfOutput> {
+        if let Some(state) = state {
+            debug_assert_eq!(state.ue, ue);
+            let newer = self
+                .store
+                .get(ue)
+                .map(|r| state.version >= r.state.version)
+                .unwrap_or(true);
+            if newer {
+                self.store.put(*state);
+            }
+        }
+        Vec::new()
+    }
+
+    /// Continues a procedure after its UPF round trip.
+    pub fn on_s11_resp(&mut self, resp: S11Response) -> Vec<CpfOutput> {
+        let ue = resp.ue;
+        if resp.op == SessionOp::Create {
+            if let Some(rec) = self.store.get_mut(ue) {
+                rec.state.session = resp.session;
+                rec.state.serving_upf = resp.upf;
+            }
+        }
+        if let Some(progress) = self.progress.get_mut(&ue) {
+            if matches!(progress.waiting, Some(Waiting::Upf { .. })) {
+                progress.waiting = None;
+                let mut out = self.emit_downlink(ue, false);
+                out.extend(self.drive(ue, false));
+                return out;
+            }
+        }
+        Vec::new()
+    }
+
+    /// Pages an idle UE that has downlink data waiting. Requires consistent
+    /// state (the paging identity and tracking-area list live in it, §4.2.1)
+    /// — without it the core cannot reach the UE (§3.1, Fig. 2).
+    pub fn on_ddn(&mut self, ue: UeId) -> Vec<CpfOutput> {
+        let rec = match self.store.get(ue) {
+            Some(r) if self.store.servable(ue) => r,
+            _ => {
+                self.metrics.pages_failed += 1;
+                return Vec::new();
+            }
+        };
+        let bs = rec.state.serving_bs;
+        self.metrics.pages_sent += 1;
+        let mut env = Envelope::downlink(
+            ue,
+            ProcedureId(0), // unsolicited: outside any procedure
+            ProcedureKind::ServiceRequest,
+            build_downlink(MessageKind::Paging, ue),
+        )
+        .from_bs(bs);
+        env.via_cta = None;
+        vec![CpfOutput::ToCta {
+            cta: self.config.home_cta,
+            msg: SysMsg::Control(env),
+        }]
+    }
+
+    /// State mutations per message kind.
+    fn apply_message(&mut self, ue: UeId, msg: &ControlMessage) {
+        let rec = match self.store.get_mut(ue) {
+            Some(r) => r,
+            None => return,
+        };
+        let state = &mut rec.state;
+        match msg {
+            ControlMessage::InitialUeMessage(_) | ControlMessage::AttachRequest(_) => {
+                state.connected = true;
+            }
+            ControlMessage::AttachComplete(_) => {
+                state.attached = true;
+                if state.bearers.is_empty() {
+                    state.bearers.push(neutrino_messages::state::BearerContext {
+                        erab_id: 5,
+                        qci: 9,
+                        teid_uplink: (ue.raw() & 0xFFFF_FFFF) as u32,
+                        teid_downlink: ((ue.raw() >> 4) & 0xFFFF_FFFF) as u32,
+                    });
+                }
+            }
+            ControlMessage::InitialContextSetupResponse(r) => {
+                for item in &r.erabs_setup {
+                    if !state.bearers.iter().any(|b| b.erab_id == item.erab_id) {
+                        state.bearers.push(neutrino_messages::state::BearerContext {
+                            erab_id: item.erab_id,
+                            qci: 9,
+                            teid_uplink: item.gtp_teid,
+                            teid_downlink: item.gtp_teid ^ 0xFFFF,
+                        });
+                    }
+                }
+                state.connected = true;
+            }
+            ControlMessage::ServiceRequest(_) => {
+                state.connected = true;
+            }
+            ControlMessage::TauRequest(r) => {
+                state.tai = r.old_tai;
+                if !state.tai_list.contains(&r.old_tai) {
+                    state.tai_list.push(r.old_tai);
+                }
+            }
+            ControlMessage::DetachRequest(_) => {
+                state.attached = false;
+                state.connected = false;
+            }
+            ControlMessage::HandoverNotify(n) => {
+                state.tai = n.tai;
+            }
+            ControlMessage::UeContextReleaseComplete(_) => {
+                state.connected = false;
+            }
+            _ => {}
+        }
+    }
+}
+
+/// The UPF operation a procedure's UPF step performs.
+fn session_op(kind: ProcedureKind, _step_kind: MessageKind) -> SessionOp {
+    match kind {
+        ProcedureKind::InitialAttach | ProcedureKind::ReAttach => SessionOp::Create,
+        ProcedureKind::Detach => SessionOp::Delete,
+        _ => SessionOp::Modify,
+    }
+}
+
+/// Builds the content of a downlink message. Contents are realistic
+/// (sample-based) — the control-plane logic keys off envelopes and the state
+/// store, and the serialization benchmarks measure these same layouts.
+fn build_downlink(kind: MessageKind, ue: UeId) -> ControlMessage {
+    kind.sample(ue.raw())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ring() -> RingStack {
+        let l1: Vec<CpfId> = (0..5).map(CpfId::new).collect();
+        let l2: Vec<CpfId> = (5..20).map(CpfId::new).collect();
+        RingStack::new(&l1, &l2, 2)
+    }
+
+    fn neutrino_cpf(id: u64) -> CpfCore {
+        CpfCore::new(CpfConfig::neutrino(
+            CpfId::new(id),
+            ring(),
+            vec![UpfId::new(0), UpfId::new(1)],
+        ))
+    }
+
+    fn ul(ue: u64, proc: u64, kind: ProcedureKind, msg: MessageKind, clock: u64) -> Envelope {
+        let mut e = Envelope::uplink(UeId::new(ue), ProcedureId::new(proc), kind, msg.sample(ue))
+            .from_bs(BsId::new(2));
+        e.clock = ClockTick(clock);
+        e.via_cta = Some(CtaId::new(0));
+        e
+    }
+
+    /// Drives a full attach through one CPF (including the authentication
+    /// and security-mode exchanges), answering its S11 requests.
+    fn run_attach(cpf: &mut CpfCore, ue: u64, proc: u64, clock0: u64) -> Vec<CpfOutput> {
+        let mut all = Vec::new();
+        let outs = cpf.on_control(ul(
+            ue,
+            proc,
+            ProcedureKind::InitialAttach,
+            MessageKind::InitialUeMessage,
+            clock0,
+        ));
+        assert!(
+            outs.iter().any(|o| matches!(
+                o,
+                CpfOutput::ToCta { msg: SysMsg::Control(e), .. }
+                    if e.msg.kind() == MessageKind::AuthenticationRequest
+            )),
+            "attach starts with the authentication challenge: {outs:?}"
+        );
+        all.extend(outs);
+        all.extend(cpf.on_control(ul(
+            ue,
+            proc,
+            ProcedureKind::InitialAttach,
+            MessageKind::AuthenticationResponse,
+            clock0 + 1,
+        )));
+        let outs = cpf.on_control(ul(
+            ue,
+            proc,
+            ProcedureKind::InitialAttach,
+            MessageKind::SecurityModeComplete,
+            clock0 + 2,
+        ));
+        // Security done: expect an S11 create.
+        let s11 = outs.iter().find_map(|o| match o {
+            CpfOutput::ToUpf {
+                upf,
+                msg: SysMsg::S11(r),
+            } => Some((*upf, *r)),
+            _ => None,
+        });
+        all.extend(outs);
+        let (upf, req) = s11.expect("attach issues S11 create");
+        assert_eq!(req.op, SessionOp::Create);
+        all.extend(cpf.on_s11_resp(S11Response {
+            ue: UeId::new(ue),
+            op: SessionOp::Create,
+            upf,
+            session: Some(neutrino_common::SessionId::new(ue)),
+            ok: true,
+        }));
+        all.extend(cpf.on_control(ul(
+            ue,
+            proc,
+            ProcedureKind::InitialAttach,
+            MessageKind::InitialContextSetupResponse,
+            clock0 + 3,
+        )));
+        all.extend(cpf.on_control(ul(
+            ue,
+            proc,
+            ProcedureKind::InitialAttach,
+            MessageKind::AttachComplete,
+            clock0 + 4,
+        )));
+        all
+    }
+
+    #[test]
+    fn attach_emits_ics_request_and_checkpoints() {
+        let mut cpf = neutrino_cpf(0);
+        let outs = run_attach(&mut cpf, 7, 1, 10);
+        // The DL Initial Context Setup Request went to the CTA.
+        assert!(outs.iter().any(|o| matches!(
+            o,
+            CpfOutput::ToCta { msg: SysMsg::Control(e), .. }
+                if e.direction == Direction::Downlink
+                    && e.msg.kind() == MessageKind::InitialContextSetupRequest
+        )));
+        // Per-procedure checkpoint to both backups at completion.
+        let syncs: Vec<_> = outs
+            .iter()
+            .filter_map(|o| match o {
+                CpfOutput::ToCpf {
+                    cpf,
+                    msg: SysMsg::StateSync(s),
+                } => Some((*cpf, s.clone())),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(syncs.len(), 2, "N=2 backups");
+        for (_, s) in &syncs {
+            assert_eq!(s.procedure, ProcedureId::new(1));
+            assert_eq!(s.end_clock, ClockTick(14), "last UL clock");
+            assert!(s.state.attached);
+            assert_eq!(s.purpose, SyncPurpose::Checkpoint);
+        }
+        assert_eq!(cpf.metrics().completed, 1);
+        assert!(cpf.store().servable(UeId::new(7)));
+    }
+
+    #[test]
+    fn unknown_ue_is_asked_to_re_attach() {
+        let mut cpf = neutrino_cpf(0);
+        let outs = cpf.on_control(ul(
+            9,
+            4,
+            ProcedureKind::ServiceRequest,
+            MessageKind::ServiceRequest,
+            1,
+        ));
+        assert!(outs.iter().any(|o| matches!(
+            o,
+            CpfOutput::ToCta {
+                msg: SysMsg::RelayReAttach { .. },
+                ..
+            }
+        )));
+        assert_eq!(cpf.metrics().re_attach_asked, 1);
+    }
+
+    #[test]
+    fn outdated_state_is_not_served_when_consistency_enforced() {
+        let mut cpf = neutrino_cpf(0);
+        run_attach(&mut cpf, 7, 1, 10);
+        cpf.on_mark_outdated(MarkOutdated {
+            ue: UeId::new(7),
+            clock: ClockTick(100),
+            up_to_date: vec![],
+        });
+        let outs = cpf.on_control(ul(
+            7,
+            2,
+            ProcedureKind::ServiceRequest,
+            MessageKind::ServiceRequest,
+            101,
+        ));
+        assert!(outs.iter().any(|o| matches!(
+            o,
+            CpfOutput::ToCta {
+                msg: SysMsg::RelayReAttach { .. },
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn replica_adopts_checkpoint_and_acks_cta() {
+        let mut primary = neutrino_cpf(0);
+        let mut replica = neutrino_cpf(9);
+        let outs = run_attach(&mut primary, 7, 1, 10);
+        let sync = outs
+            .iter()
+            .find_map(|o| match o {
+                CpfOutput::ToCpf {
+                    msg: SysMsg::StateSync(s),
+                    ..
+                } => Some(s.clone()),
+                _ => None,
+            })
+            .expect("a checkpoint");
+        let acks = replica.on_state_sync(sync);
+        assert!(matches!(
+            &acks[0],
+            CpfOutput::ToCta { msg: SysMsg::SyncAck(a), .. }
+                if a.procedure == ProcedureId::new(1) && a.replica == CpfId::new(9)
+        ));
+        assert!(replica.store().servable(UeId::new(7)));
+    }
+
+    #[test]
+    fn marked_outdated_replica_ignores_stale_sync_and_fetches() {
+        let mut replica = neutrino_cpf(9);
+        // Replica holds version from procedure 1.
+        let mut state = UeState::sample(7);
+        state.ue = UeId::new(7);
+        state.version = neutrino_messages::state::StateVersion {
+            procedure: ProcedureId::new(1),
+            clock: ClockTick(10),
+        };
+        replica.store.put(state.clone());
+        // CTA marks it outdated at clock 20 and points at CPF 3.
+        let outs = replica.on_mark_outdated(MarkOutdated {
+            ue: UeId::new(7),
+            clock: ClockTick(20),
+            up_to_date: vec![CpfId::new(3)],
+        });
+        assert!(matches!(
+            &outs[0],
+            CpfOutput::ToCpf { cpf, msg: SysMsg::FetchState { .. } } if *cpf == CpfId::new(3)
+        ));
+        // A late sync whose end clock is below the mark is ignored.
+        let mut stale = state.clone();
+        stale.version.procedure = ProcedureId::new(2);
+        let outs = replica.on_state_sync(StateSync {
+            ue: UeId::new(7),
+            primary: CpfId::new(0),
+            cta: CtaId::new(0),
+            state: stale,
+            procedure: ProcedureId::new(2),
+            end_clock: ClockTick(20),
+            purpose: SyncPurpose::Checkpoint,
+        });
+        assert!(outs.is_empty(), "stale sync must not be ACKed");
+        assert!(!replica.store().servable(UeId::new(7)));
+        assert_eq!(replica.metrics().syncs_ignored, 1);
+        // The fetch response restores freshness.
+        let mut fresh = state;
+        fresh.version.procedure = ProcedureId::new(2);
+        fresh.version.clock = ClockTick(21);
+        replica.on_fetch_resp(UeId::new(7), Some(Box::new(fresh)));
+        assert!(replica.store().servable(UeId::new(7)));
+    }
+
+    #[test]
+    fn handover_with_cpf_change_waits_for_migration() {
+        let mut cpf = neutrino_cpf(0);
+        run_attach(&mut cpf, 7, 1, 10);
+        let outs = cpf.on_control(ul(
+            7,
+            2,
+            ProcedureKind::HandoverWithCpfChange,
+            MessageKind::HandoverRequired,
+            20,
+        ));
+        // Migration sync sent, no Handover Request yet.
+        let mig = outs.iter().find_map(|o| match o {
+            CpfOutput::ToCpf {
+                cpf,
+                msg: SysMsg::StateSync(s),
+            } if s.purpose == SyncPurpose::Migration => Some(*cpf),
+            _ => None,
+        });
+        let target = mig.expect("migration must start");
+        assert!(!outs.iter().any(|o| matches!(
+            o,
+            CpfOutput::ToCta { msg: SysMsg::Control(e), .. }
+                if e.msg.kind() == MessageKind::HandoverRequest
+        )));
+        // The ack releases the Handover Request.
+        let outs = cpf.on_migration_ack(UeId::new(7));
+        assert!(outs.iter().any(|o| matches!(
+            o,
+            CpfOutput::ToCta { msg: SysMsg::Control(e), .. }
+                if e.msg.kind() == MessageKind::HandoverRequest
+        )));
+        assert_eq!(cpf.metrics().migrations, 1);
+        let _ = target;
+    }
+
+    #[test]
+    fn fast_handover_needs_no_migration() {
+        let mut cpf = neutrino_cpf(0);
+        run_attach(&mut cpf, 7, 1, 10);
+        let outs = cpf.on_control(ul(
+            7,
+            2,
+            ProcedureKind::FastHandover,
+            MessageKind::HandoverRequired,
+            20,
+        ));
+        assert!(outs.iter().any(|o| matches!(
+            o,
+            CpfOutput::ToCta { msg: SysMsg::Control(e), .. }
+                if e.msg.kind() == MessageKind::HandoverRequest
+        )));
+        assert_eq!(cpf.metrics().migrations, 0);
+    }
+
+    #[test]
+    fn replay_reconstructs_state_without_side_effects() {
+        // Run an attach on the primary, capture the envelopes, replay them
+        // on a fresh replica: the replica must end with equivalent state but
+        // emit no downlink or S11 traffic.
+        let mut replica = neutrino_cpf(9);
+        let msgs = vec![
+            ul(
+                7,
+                1,
+                ProcedureKind::InitialAttach,
+                MessageKind::InitialUeMessage,
+                8,
+            ),
+            ul(
+                7,
+                1,
+                ProcedureKind::InitialAttach,
+                MessageKind::AuthenticationResponse,
+                9,
+            ),
+            ul(
+                7,
+                1,
+                ProcedureKind::InitialAttach,
+                MessageKind::SecurityModeComplete,
+                10,
+            ),
+            ul(
+                7,
+                1,
+                ProcedureKind::InitialAttach,
+                MessageKind::InitialContextSetupResponse,
+                11,
+            ),
+            ul(
+                7,
+                1,
+                ProcedureKind::InitialAttach,
+                MessageKind::AttachComplete,
+                12,
+            ),
+        ];
+        let outs = replica.on_replay(Replay {
+            ue: UeId::new(7),
+            messages: msgs,
+        });
+        assert!(
+            !outs.iter().any(|o| matches!(
+                o,
+                CpfOutput::ToCta {
+                    msg: SysMsg::Control(_),
+                    ..
+                } | CpfOutput::ToUpf { .. }
+            )),
+            "replay must not repeat external side effects: {outs:?}"
+        );
+        let rec = replica.store().get(UeId::new(7)).expect("state rebuilt");
+        assert!(rec.state.attached);
+        assert_eq!(rec.state.version.procedure, ProcedureId::new(1));
+        assert_eq!(rec.state.version.clock, ClockTick(12));
+        assert_eq!(replica.metrics().replayed, 5);
+    }
+
+    #[test]
+    fn detach_removes_state() {
+        let mut cpf = neutrino_cpf(0);
+        run_attach(&mut cpf, 7, 1, 10);
+        let outs = cpf.on_control(ul(
+            7,
+            2,
+            ProcedureKind::Detach,
+            MessageKind::DetachRequest,
+            20,
+        ));
+        // S11 delete then DL DetachAccept.
+        let s11 = outs.iter().find_map(|o| match o {
+            CpfOutput::ToUpf {
+                msg: SysMsg::S11(r),
+                ..
+            } => Some(*r),
+            _ => None,
+        });
+        assert_eq!(s11.expect("delete").op, SessionOp::Delete);
+        let outs = cpf.on_s11_resp(S11Response {
+            ue: UeId::new(7),
+            op: SessionOp::Delete,
+            upf: UpfId::new(0),
+            session: None,
+            ok: true,
+        });
+        assert!(outs.iter().any(|o| matches!(
+            o,
+            CpfOutput::ToCta { msg: SysMsg::Control(e), .. }
+                if e.msg.kind() == MessageKind::DetachAccept && e.end_of_procedure
+        )));
+        assert!(cpf.store().get(UeId::new(7)).is_none(), "state dropped");
+    }
+
+    #[test]
+    fn skycore_broadcasts_on_every_message() {
+        let peers: Vec<CpfId> = (0..5).map(CpfId::new).collect();
+        let mut cpf = CpfCore::new(CpfConfig::skycore(
+            CpfId::new(0),
+            peers,
+            vec![UpfId::new(0)],
+        ));
+        let outs = cpf.on_control(ul(
+            7,
+            1,
+            ProcedureKind::InitialAttach,
+            MessageKind::InitialUeMessage,
+            1,
+        ));
+        let syncs = outs
+            .iter()
+            .filter(|o| {
+                matches!(
+                    o,
+                    CpfOutput::ToCpf {
+                        msg: SysMsg::StateSync(_),
+                        ..
+                    }
+                )
+            })
+            .count();
+        assert_eq!(syncs, 4, "broadcast to all 4 pool peers");
+    }
+
+    #[test]
+    fn epc_mode_never_replicates() {
+        let mut cpf = CpfCore::new(CpfConfig::epc(
+            CpfId::new(0),
+            (0..5).map(CpfId::new).collect(),
+            vec![UpfId::new(0)],
+        ));
+        let outs = run_attach(&mut cpf, 7, 1, 10);
+        assert!(!outs.iter().any(|o| matches!(
+            o,
+            CpfOutput::ToCpf {
+                msg: SysMsg::StateSync(_),
+                ..
+            }
+        )));
+        assert_eq!(cpf.metrics().syncs_sent, 0);
+    }
+
+    #[test]
+    fn service_request_flow() {
+        let mut cpf = neutrino_cpf(0);
+        run_attach(&mut cpf, 7, 1, 10);
+        // The ICS Request goes down immediately (radio bearers first)...
+        let outs = cpf.on_control(ul(
+            7,
+            2,
+            ProcedureKind::ServiceRequest,
+            MessageKind::ServiceRequest,
+            20,
+        ));
+        assert!(outs.iter().any(|o| matches!(
+            o,
+            CpfOutput::ToCta { msg: SysMsg::Control(e), .. }
+                if e.msg.kind() == MessageKind::InitialContextSetupRequest
+        )));
+        assert!(
+            !outs.iter().any(|o| matches!(o, CpfOutput::ToUpf { .. })),
+            "no S11 before the setup response (LTE ordering)"
+        );
+        // ...and the S11 modify-bearer follows the setup response.
+        let outs = cpf.on_control(ul(
+            7,
+            2,
+            ProcedureKind::ServiceRequest,
+            MessageKind::InitialContextSetupResponse,
+            21,
+        ));
+        let s11 = outs.iter().find_map(|o| match o {
+            CpfOutput::ToUpf {
+                msg: SysMsg::S11(r),
+                ..
+            } => Some(*r),
+            _ => None,
+        });
+        assert_eq!(s11.expect("modify").op, SessionOp::Modify);
+    }
+}

@@ -1,0 +1,20 @@
+//! The Control Plane Function (CPF) — the re-architected MME/AMF+SMF of §4.
+//!
+//! A CPF (i) stores and updates UE state from UE/BS requests, (ii) creates,
+//! deletes and modifies data sessions on the UPF, (iii) handles registration
+//! and mobility, and (iv) checkpoints UE state onto replica CPFs on
+//! procedure completion (§4.1). The same code serves as primary and backup:
+//! a backup holds replicated state and is promoted simply by receiving UE
+//! traffic (plus a log replay when it lags, §4.2.5).
+//!
+//! [`CpfCore`] is a sans-IO state machine shared by the simulator and the
+//! real-time driver.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod core;
+pub mod store;
+
+pub use crate::core::{CpfConfig, CpfCore, CpfMetrics, CpfOutput, ReplicationMode};
+pub use store::{Freshness, StateStore, UeRecord};

@@ -1,0 +1,180 @@
+//! The per-CPF UE state store.
+
+use neutrino_common::clock::ClockTick;
+use neutrino_common::UeId;
+use neutrino_messages::state::UeState;
+use std::collections::HashMap;
+
+/// Whether a stored UE state may serve traffic (§4.2.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Freshness {
+    /// Safe to serve.
+    UpToDate,
+    /// Marked outdated by the CTA; serving would violate Read-your-Writes.
+    /// The payload is the clock at/below which incoming state syncs must be
+    /// ignored ("used to ignore the reception of outdated state").
+    Outdated(ClockTick),
+}
+
+/// One UE's entry in a CPF's store.
+#[derive(Debug, Clone)]
+pub struct UeRecord {
+    /// The replicated state.
+    pub state: UeState,
+    /// Whether it may serve traffic.
+    pub freshness: Freshness,
+}
+
+/// The store: UE id → record.
+#[derive(Debug, Default)]
+pub struct StateStore {
+    records: HashMap<UeId, UeRecord>,
+}
+
+impl StateStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of UEs held.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when no UE is held.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Read access.
+    pub fn get(&self, ue: UeId) -> Option<&UeRecord> {
+        self.records.get(&ue)
+    }
+
+    /// Write access.
+    pub fn get_mut(&mut self, ue: UeId) -> Option<&mut UeRecord> {
+        self.records.get_mut(&ue)
+    }
+
+    /// Installs fresh state (attach, promotion, or accepted sync).
+    pub fn put(&mut self, state: UeState) {
+        self.records.insert(
+            state.ue,
+            UeRecord {
+                state,
+                freshness: Freshness::UpToDate,
+            },
+        );
+    }
+
+    /// Applies an incoming state sync: adopted unless the record was marked
+    /// outdated at a clock at/after the sync's (stale checkpoint from a dead
+    /// primary). Returns whether the sync was adopted.
+    pub fn apply_sync(&mut self, state: UeState, end_clock: ClockTick) -> bool {
+        if let Some(rec) = self.records.get_mut(&state.ue) {
+            if let Freshness::Outdated(at) = rec.freshness {
+                if end_clock <= at {
+                    return false; // §4.2.4: ignore outdated state
+                }
+            }
+            // Never regress to an older version.
+            if state.version < rec.state.version {
+                return false;
+            }
+        }
+        self.put(state);
+        true
+    }
+
+    /// Marks a UE outdated (§4.2.4 step 1b). No-op if the CPF holds nothing
+    /// for the UE (it then simply has no state, which is equally unservable).
+    pub fn mark_outdated(&mut self, ue: UeId, clock: ClockTick) {
+        if let Some(rec) = self.records.get_mut(&ue) {
+            rec.freshness = Freshness::Outdated(clock);
+        }
+    }
+
+    /// Removes a UE (detach).
+    pub fn remove(&mut self, ue: UeId) -> Option<UeRecord> {
+        self.records.remove(&ue)
+    }
+
+    /// True when the CPF may serve this UE's traffic.
+    pub fn servable(&self, ue: UeId) -> bool {
+        matches!(
+            self.records.get(&ue),
+            Some(UeRecord {
+                freshness: Freshness::UpToDate,
+                ..
+            })
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neutrino_common::{BsId, ProcedureId, UpfId};
+    use neutrino_messages::ies::Tai;
+    use neutrino_messages::state::StateVersion;
+    use neutrino_messages::Wire;
+
+    fn state(ue: u64, proc: u64, clock: u64) -> UeState {
+        let mut s = UeState::new(UeId::new(ue), BsId::new(0), UpfId::new(0), Tai::sample(0));
+        s.version = StateVersion {
+            procedure: ProcedureId::new(proc),
+            clock: ClockTick(clock),
+        };
+        s
+    }
+
+    #[test]
+    fn put_makes_servable() {
+        let mut store = StateStore::new();
+        assert!(!store.servable(UeId::new(1)));
+        store.put(state(1, 1, 5));
+        assert!(store.servable(UeId::new(1)));
+    }
+
+    #[test]
+    fn outdated_blocks_serving_and_stale_syncs() {
+        let mut store = StateStore::new();
+        store.put(state(1, 1, 5));
+        store.mark_outdated(UeId::new(1), ClockTick(10));
+        assert!(!store.servable(UeId::new(1)));
+        // A sync at or below the outdated clock is ignored...
+        assert!(!store.apply_sync(state(1, 2, 10), ClockTick(10)));
+        assert!(!store.servable(UeId::new(1)));
+        // ...a later one is adopted and restores freshness.
+        assert!(store.apply_sync(state(1, 2, 11), ClockTick(11)));
+        assert!(store.servable(UeId::new(1)));
+    }
+
+    #[test]
+    fn syncs_never_regress_versions() {
+        let mut store = StateStore::new();
+        store.put(state(1, 5, 50));
+        assert!(!store.apply_sync(state(1, 3, 30), ClockTick(30)));
+        assert_eq!(
+            store.get(UeId::new(1)).unwrap().state.version.procedure,
+            ProcedureId::new(5)
+        );
+    }
+
+    #[test]
+    fn remove_forgets() {
+        let mut store = StateStore::new();
+        store.put(state(1, 1, 1));
+        assert!(store.remove(UeId::new(1)).is_some());
+        assert!(!store.servable(UeId::new(1)));
+        assert!(store.is_empty());
+    }
+
+    #[test]
+    fn mark_outdated_without_state_is_noop() {
+        let mut store = StateStore::new();
+        store.mark_outdated(UeId::new(9), ClockTick(1));
+        assert!(store.get(UeId::new(9)).is_none());
+    }
+}

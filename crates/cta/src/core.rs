@@ -1,0 +1,893 @@
+//! The CTA state machine.
+
+use crate::log::MessageLog;
+use neutrino_codec::CodecKind;
+use neutrino_common::clock::ClockTick;
+use neutrino_common::time::{Duration, Instant};
+use neutrino_common::{BsId, CpfId, CtaId, ProcedureId, UeId};
+use neutrino_geo::RingStack;
+use neutrino_messages::costs::CostTable;
+use neutrino_messages::sysmsg::{MarkOutdated, Replay, SyncAck, SysMsg};
+use neutrino_messages::{Direction, Envelope};
+use std::collections::{HashMap, HashSet};
+
+/// What the CTA does when a UE's primary CPF is down.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailoverPolicy {
+    /// Existing EPC / DPCM: the UE must re-attach (and the consistent-hash
+    /// ring, minus the failed CPF, picks its new primary).
+    ReAttach,
+    /// Neutrino (§4.2.5): promote the most-synced backup, replaying the
+    /// in-memory log when it is behind; re-attach only when no backup can be
+    /// made consistent (scenario 3).
+    ReplayFromLog,
+    /// SkyCore: route to any live pool member (state was broadcast
+    /// per-message; no consistency check).
+    AnyPeer,
+}
+
+/// CTA configuration.
+#[derive(Debug, Clone)]
+pub struct CtaConfig {
+    /// This CTA's id.
+    pub id: CtaId,
+    /// Whether the in-memory message log is maintained (§6.7.2 ablates it).
+    pub logging: bool,
+    /// Failure recovery policy.
+    pub failover: FailoverPolicy,
+    /// How long to wait for replica ACKs before declaring them outdated
+    /// (§4.2.4 uses 30 s).
+    pub ack_timeout: Duration,
+    /// The codec in use — determines the wire size the log charges per
+    /// message.
+    pub codec: CodecKind,
+}
+
+impl CtaConfig {
+    /// Neutrino defaults (per-procedure replication, logging on, 30 s
+    /// timeout).
+    pub fn neutrino(id: CtaId, codec: CodecKind) -> Self {
+        CtaConfig {
+            id,
+            logging: true,
+            failover: FailoverPolicy::ReplayFromLog,
+            ack_timeout: Duration::from_secs(30),
+            codec,
+        }
+    }
+
+    /// Existing-EPC defaults: no log, re-attach on failure, ASN.1.
+    pub fn epc(id: CtaId) -> Self {
+        CtaConfig {
+            id,
+            logging: false,
+            failover: FailoverPolicy::ReAttach,
+            ack_timeout: Duration::from_secs(30),
+            codec: CodecKind::Asn1Per,
+        }
+    }
+}
+
+/// An action the CTA asks its driver to perform.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CtaOutput {
+    /// Send to a CPF.
+    ToCpf {
+        /// Destination CPF.
+        cpf: CpfId,
+        /// Payload.
+        msg: SysMsg,
+    },
+    /// Send toward a base station (and thus the UE).
+    ToBs {
+        /// Destination BS.
+        bs: BsId,
+        /// Payload.
+        msg: SysMsg,
+    },
+}
+
+/// Counters for tests and experiment output.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CtaMetrics {
+    /// Uplink envelopes forwarded.
+    pub forwarded_uplink: u64,
+    /// Downlink envelopes forwarded.
+    pub forwarded_downlink: u64,
+    /// Failovers resolved with an already-up-to-date backup (scenario 1).
+    pub failover_up_to_date: u64,
+    /// Failovers resolved by replaying the log (scenario 2).
+    pub failover_replayed: u64,
+    /// Failovers that required a re-attach (scenario 3).
+    pub failover_re_attach: u64,
+    /// MarkOutdated notices sent.
+    pub outdated_notices: u64,
+    /// Procedures pruned by the ACK timeout scan.
+    pub timeout_pruned: u64,
+}
+
+/// The Control Traffic Aggregator state machine.
+pub struct CtaCore {
+    config: CtaConfig,
+    ring: RingStack,
+    clock: neutrino_common::LogicalClock,
+    log: MessageLog,
+    /// Sticky per-UE assignment: set from the ring on first contact, changed
+    /// by failover promotions and re-attaches. Stable assignment is what
+    /// lets a backup "become primary" (§4.1) instead of the ring silently
+    /// remapping the UE to a CPF with no state.
+    assigned: HashMap<UeId, CpfId>,
+    /// Backup sets are ring-deterministic but cached for stable expectation
+    /// sets even as the ring changes.
+    backups_cache: HashMap<UeId, Vec<CpfId>>,
+    failed: HashSet<CpfId>,
+    costs: &'static CostTable,
+    metrics: CtaMetrics,
+}
+
+impl CtaCore {
+    /// Creates a CTA over a region's ring stack.
+    pub fn new(config: CtaConfig, ring: RingStack) -> Self {
+        CtaCore {
+            config,
+            ring,
+            clock: neutrino_common::LogicalClock::new(),
+            log: MessageLog::new(),
+            assigned: HashMap::new(),
+            backups_cache: HashMap::new(),
+            failed: HashSet::new(),
+            costs: CostTable::baked(),
+            metrics: CtaMetrics::default(),
+        }
+    }
+
+    /// This CTA's id.
+    pub fn id(&self) -> CtaId {
+        self.config.id
+    }
+
+    /// Counters.
+    pub fn metrics(&self) -> CtaMetrics {
+        self.metrics
+    }
+
+    /// Current log footprint in bytes.
+    pub fn log_bytes(&self) -> usize {
+        self.log.bytes()
+    }
+
+    /// Peak log footprint in bytes (Fig. 17).
+    pub fn max_log_bytes(&self) -> usize {
+        self.log.max_bytes()
+    }
+
+    /// The primary CPF currently serving a UE (sticky; assigned from the
+    /// level-1 ring on first contact).
+    pub fn primary_for(&mut self, ue: UeId) -> Option<CpfId> {
+        if let Some(p) = self.assigned.get(&ue) {
+            return Some(*p);
+        }
+        let p = self.ring.primary(ue)?;
+        self.assigned.insert(ue, p);
+        Some(p)
+    }
+
+    /// The backup set for a UE (cached on first use).
+    pub fn backups_for(&mut self, ue: UeId) -> Vec<CpfId> {
+        if let Some(b) = self.backups_cache.get(&ue) {
+            return b.clone();
+        }
+        let b = self.ring.backups(ue);
+        self.backups_cache.insert(ue, b.clone());
+        b
+    }
+
+    fn expected_ack_set(&mut self, ue: UeId) -> Vec<CpfId> {
+        let primary = self.primary_for(ue);
+        let failed = self.failed.clone();
+        self.backups_for(ue)
+            .into_iter()
+            .filter(|b| Some(*b) != primary && !failed.contains(b))
+            .collect()
+    }
+
+    fn wire_bytes(&self, env: &Envelope) -> usize {
+        self.costs
+            .get(self.config.codec, env.msg.kind())
+            .map(|c| c.wire_bytes)
+            .unwrap_or(64)
+    }
+
+    /// Handles any system message addressed to this CTA.
+    pub fn handle(&mut self, msg: SysMsg, now: Instant) -> Vec<CtaOutput> {
+        match msg {
+            SysMsg::Control(env) => match env.direction {
+                Direction::Uplink => self.on_uplink(env, now),
+                Direction::Downlink => self.on_downlink(env, now),
+            },
+            SysMsg::SyncAck(ack) => self.on_sync_ack(ack, now),
+            SysMsg::DdnRequest { ue, upf } => self.on_ddn(ue, upf),
+            SysMsg::CpfFailure { cpf } => self.on_cpf_failure(cpf, now),
+            SysMsg::RelayReAttach { ue, bs } => {
+                // A CPF asked the UE to re-attach (stale-state guard).
+                vec![CtaOutput::ToBs {
+                    bs,
+                    msg: SysMsg::AskReAttach { ue },
+                }]
+            }
+            other => {
+                debug_assert!(false, "CTA received unexpected {}", other.label());
+                Vec::new()
+            }
+        }
+    }
+
+    /// Processes an uplink control message (§4.2.3 step 1): stamp the
+    /// logical clock, log, and forward to the primary CPF — or run failure
+    /// recovery when the primary is down.
+    pub fn on_uplink(&mut self, mut env: Envelope, now: Instant) -> Vec<CtaOutput> {
+        let tick = self.clock.tick();
+        env.clock = tick;
+        env.via_cta = Some(self.config.id);
+        let ue = env.ue;
+        let mut out = Vec::new();
+
+        {
+            let ue_log = self.log.ue_mut(ue);
+            ue_log.last_bs = env.bs;
+            if env.end_of_procedure {
+                ue_log.in_flight = None;
+            } else {
+                ue_log.in_flight = Some((env.procedure, env.bs));
+            }
+        }
+
+        if self.config.logging {
+            // §4.2.4 step 4: a second procedure starting while the previous
+            // one still lacks ACKs ⇒ notify the lagging replicas.
+            let starting_new = self
+                .log
+                .ue(ue)
+                .map(|l| {
+                    !l.procedures.contains_key(&env.procedure)
+                        && l.last_completed.raw() > 0
+                        && l.procedures.contains_key(&l.last_completed)
+                })
+                .unwrap_or(false);
+            if starting_new {
+                let prev = self.log.ue(ue).map(|l| l.last_completed).expect("seen");
+                out.extend(self.notify_outdated(ue, prev));
+            }
+
+            let bytes = self.wire_bytes(&env);
+            self.log.append(env.clone(), bytes, now);
+            if env.end_of_procedure {
+                self.log.complete(ue, env.procedure, tick, now);
+            }
+        } else if env.end_of_procedure {
+            self.log.complete(ue, env.procedure, tick, now);
+        }
+
+        // A (re-)attach binds the UE afresh to the ring's current choice —
+        // the failed CPF is no longer on the ring.
+        if matches!(
+            env.proc_kind,
+            neutrino_messages::ProcedureKind::InitialAttach
+                | neutrino_messages::ProcedureKind::ReAttach
+        ) && env.msg.kind() == env.proc_kind.template().steps[0].kind
+        {
+            self.assigned.remove(&ue);
+        }
+        let primary = match self.primary_for(ue) {
+            Some(p) => p,
+            None => return out, // no CPFs at all
+        };
+        if !self.failed.contains(&primary) {
+            self.metrics.forwarded_uplink += 1;
+            out.push(CtaOutput::ToCpf {
+                cpf: primary,
+                msg: SysMsg::Control(env),
+            });
+            return out;
+        }
+        out.extend(self.failover(env, now));
+        out
+    }
+
+    /// Processes a downlink control message from a CPF: stamp, bookkeep
+    /// procedure completion, forward to the UE's BS.
+    pub fn on_downlink(&mut self, mut env: Envelope, now: Instant) -> Vec<CtaOutput> {
+        let tick = self.clock.tick();
+        env.clock = tick;
+        env.via_cta = Some(self.config.id);
+        if env.end_of_procedure {
+            self.log.complete(env.ue, env.procedure, tick, now);
+            self.log.ue_mut(env.ue).in_flight = None;
+        }
+        self.metrics.forwarded_downlink += 1;
+        vec![CtaOutput::ToBs {
+            bs: env.bs,
+            msg: SysMsg::Control(env),
+        }]
+    }
+
+    /// Records a replica ACK (§4.2.3 steps 3–4) and prunes fully-ACKed
+    /// procedures.
+    pub fn on_sync_ack(&mut self, ack: SyncAck, _now: Instant) -> Vec<CtaOutput> {
+        let expected = self.expected_ack_set(ack.ue);
+        self.log.ack(ack.ue, ack.procedure, ack.replica, &expected);
+        Vec::new()
+    }
+
+    /// Reacts to a CPF failure notice: takes the CPF out of the rings, then
+    /// immediately recovers every UE that was mid-procedure on it (those UEs
+    /// are waiting for a response that will never come — the last logged
+    /// message is re-driven through failover so the new primary answers it).
+    /// UEs with no procedure in flight recover lazily on their next message.
+    pub fn on_cpf_failure(&mut self, cpf: CpfId, now: Instant) -> Vec<CtaOutput> {
+        let mut stuck: Vec<Envelope> = Vec::new();
+        let mut stuck_no_log: Vec<(UeId, BsId)> = Vec::new();
+        for (ue, ue_log) in self.log.ues() {
+            let primary = self
+                .assigned
+                .get(ue)
+                .copied()
+                .or_else(|| self.ring.primary(*ue));
+            if primary != Some(cpf) {
+                continue;
+            }
+            let (in_proc, bs) = match ue_log.in_flight {
+                Some(x) => x,
+                None => continue,
+            };
+            let last_logged = ue_log
+                .procedures
+                .get(&in_proc)
+                .and_then(|p| p.messages.last());
+            match last_logged {
+                Some(last) => stuck.push(last.clone()),
+                None => stuck_no_log.push((*ue, bs)),
+            }
+        }
+        self.failed.insert(cpf);
+        self.ring.remove(cpf);
+        let mut out = Vec::new();
+        for env in stuck {
+            out.extend(self.failover(env, now));
+        }
+        for (ue, bs) in stuck_no_log {
+            // No log to recover from (EPC / logging off): re-attach.
+            self.metrics.failover_re_attach += 1;
+            self.log.ue_mut(ue).in_flight = None;
+            out.push(CtaOutput::ToBs {
+                bs,
+                msg: SysMsg::AskReAttach { ue },
+            });
+        }
+        out
+    }
+
+    /// Routes a Downlink Data Notification to the UE's current primary so
+    /// it can page the UE (§3.1's reachability path). A dead primary runs
+    /// the same recovery selection as control traffic: promote a synced
+    /// backup (Neutrino) or wake the UE by re-attach (EPC).
+    pub fn on_ddn(&mut self, ue: UeId, upf: neutrino_common::UpfId) -> Vec<CtaOutput> {
+        let primary = match self.primary_for(ue) {
+            Some(p) => p,
+            None => return Vec::new(),
+        };
+        if !self.failed.contains(&primary) {
+            return vec![CtaOutput::ToCpf {
+                cpf: primary,
+                msg: SysMsg::DdnRequest { ue, upf },
+            }];
+        }
+        // Primary is down: pick the most-synced live backup, as in
+        // `failover`, without a message to replay.
+        let candidates = self.backups_for(ue);
+        let failed = self.failed.clone();
+        let best = candidates
+            .into_iter()
+            .filter(|b| !failed.contains(b))
+            .filter_map(|b| {
+                let synced = self
+                    .log
+                    .ue(ue)
+                    .and_then(|l| l.synced_through.get(&b).copied())
+                    .unwrap_or(ProcedureId(0));
+                (synced.raw() > 0).then_some((b, synced))
+            })
+            .max_by_key(|(_, s)| *s);
+        match best {
+            Some((replica, _)) if self.config.failover == FailoverPolicy::ReplayFromLog => {
+                self.assigned.insert(ue, replica);
+                self.metrics.failover_up_to_date += 1;
+                vec![CtaOutput::ToCpf {
+                    cpf: replica,
+                    msg: SysMsg::DdnRequest { ue, upf },
+                }]
+            }
+            _ => {
+                // Nothing consistent to page from: wake the UE directly.
+                self.metrics.failover_re_attach += 1;
+                let bs = self.log.ue(ue).map(|l| l.last_bs).unwrap_or(BsId::new(0));
+                vec![CtaOutput::ToBs {
+                    bs,
+                    msg: SysMsg::AskReAttach { ue },
+                }]
+            }
+        }
+    }
+
+    /// The ACK-timeout scan (§4.2.4 step 1): run periodically by the driver.
+    pub fn scan(&mut self, now: Instant) -> Vec<CtaOutput> {
+        let timeout = self.config.ack_timeout;
+        let mut expired: Vec<(UeId, ProcedureId)> = Vec::new();
+        for (ue, ue_log) in self.log.ues() {
+            for (proc, entry) in &ue_log.procedures {
+                if let Some(done) = entry.completed_at {
+                    if done + timeout <= now {
+                        expired.push((*ue, *proc));
+                    }
+                }
+            }
+        }
+        let mut out = Vec::new();
+        for (ue, proc) in expired {
+            out.extend(self.notify_outdated(ue, proc));
+            self.log.drop_procedure(ue, proc);
+            self.metrics.timeout_pruned += 1;
+        }
+        out
+    }
+
+    /// Tells replicas lagging on `proc` that their state is outdated,
+    /// listing who does hold fresh state (§4.2.4 step 1a).
+    fn notify_outdated(&mut self, ue: UeId, proc: ProcedureId) -> Vec<CtaOutput> {
+        let (end_clock, acked) = match self.log.ue(ue).and_then(|l| l.procedures.get(&proc)) {
+            Some(entry) => (
+                entry.end_clock.unwrap_or(ClockTick::ZERO),
+                entry.acks.clone(),
+            ),
+            None => return Vec::new(),
+        };
+        let expected = self.expected_ack_set(ue);
+        let mut up_to_date: Vec<CpfId> = acked.iter().copied().collect();
+        up_to_date.sort_unstable();
+        if let Some(p) = self.primary_for(ue) {
+            if !self.failed.contains(&p) {
+                up_to_date.push(p);
+            }
+        }
+        let mut out = Vec::new();
+        for replica in expected {
+            if !acked.contains(&replica) {
+                self.metrics.outdated_notices += 1;
+                out.push(CtaOutput::ToCpf {
+                    cpf: replica,
+                    msg: SysMsg::MarkOutdated(MarkOutdated {
+                        ue,
+                        clock: end_clock,
+                        up_to_date: up_to_date.clone(),
+                    }),
+                });
+            }
+        }
+        out
+    }
+
+    /// Failure recovery for one uplink message whose primary is down
+    /// (§4.2.5).
+    fn failover(&mut self, env: Envelope, _now: Instant) -> Vec<CtaOutput> {
+        let ue = env.ue;
+        match self.config.failover {
+            FailoverPolicy::ReAttach => {
+                self.metrics.failover_re_attach += 1;
+                vec![CtaOutput::ToBs {
+                    bs: env.bs,
+                    msg: SysMsg::AskReAttach { ue },
+                }]
+            }
+            FailoverPolicy::AnyPeer => match self.ring.primary(ue) {
+                Some(peer) => {
+                    self.assigned.insert(ue, peer);
+                    self.metrics.failover_up_to_date += 1;
+                    vec![CtaOutput::ToCpf {
+                        cpf: peer,
+                        msg: SysMsg::Control(env),
+                    }]
+                }
+                None => Vec::new(),
+            },
+            FailoverPolicy::ReplayFromLog => {
+                // Pick the live backup synced furthest ahead.
+                let candidates = self.backups_for(ue);
+                let failed = self.failed.clone();
+                let mut best: Option<(CpfId, ProcedureId)> = None;
+                for b in candidates {
+                    if failed.contains(&b) {
+                        continue;
+                    }
+                    let synced = self
+                        .log
+                        .ue(ue)
+                        .and_then(|l| l.synced_through.get(&b).copied())
+                        .unwrap_or(ProcedureId(0));
+                    if synced.raw() == 0 {
+                        continue; // never held this UE's state: ineligible
+                    }
+                    if best.map(|(_, s)| synced > s).unwrap_or(true) {
+                        best = Some((b, synced));
+                    }
+                }
+                match best {
+                    Some((replica, synced)) if self.log.replay_covers(ue, synced) => {
+                        // Everything after `synced` (including the current
+                        // procedure's earlier messages, and this message —
+                        // appended before routing) replays onto the backup.
+                        let mut messages = self.log.replay_set(ue, synced);
+                        // The message we are routing right now must not be
+                        // replayed *and* forwarded.
+                        messages.retain(|m| m.clock != env.clock);
+                        self.assigned.insert(ue, replica);
+                        let mut out = Vec::new();
+                        if messages.is_empty() {
+                            self.metrics.failover_up_to_date += 1;
+                        } else {
+                            self.metrics.failover_replayed += 1;
+                            out.push(CtaOutput::ToCpf {
+                                cpf: replica,
+                                msg: SysMsg::Replay(Replay { ue, messages }),
+                            });
+                        }
+                        self.metrics.forwarded_uplink += 1;
+                        out.push(CtaOutput::ToCpf {
+                            cpf: replica,
+                            msg: SysMsg::Control(env),
+                        });
+                        out
+                    }
+                    _ => {
+                        // Scenario 3: nobody can be made consistent.
+                        self.metrics.failover_re_attach += 1;
+                        vec![CtaOutput::ToBs {
+                            bs: env.bs,
+                            msg: SysMsg::AskReAttach { ue },
+                        }]
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neutrino_messages::{MessageKind, ProcedureKind};
+
+    fn ring() -> RingStack {
+        let l1: Vec<CpfId> = (0..5).map(CpfId::new).collect();
+        let l2: Vec<CpfId> = (5..20).map(CpfId::new).collect();
+        RingStack::new(&l1, &l2, 2)
+    }
+
+    fn cta() -> CtaCore {
+        CtaCore::new(
+            CtaConfig::neutrino(CtaId::new(0), CodecKind::FastbufOptimized),
+            ring(),
+        )
+    }
+
+    fn ul(ue: u64, proc: u64, kind: MessageKind, eop: bool) -> Envelope {
+        let e = Envelope::uplink(
+            UeId::new(ue),
+            ProcedureId::new(proc),
+            ProcedureKind::ServiceRequest,
+            kind.sample(ue),
+        )
+        .from_bs(BsId::new(1));
+        if eop {
+            e.ending_procedure()
+        } else {
+            e
+        }
+    }
+
+    fn route_target(outs: &[CtaOutput]) -> CpfId {
+        outs.iter()
+            .find_map(|o| match o {
+                CtaOutput::ToCpf {
+                    cpf,
+                    msg: SysMsg::Control(_),
+                } => Some(*cpf),
+                _ => None,
+            })
+            .expect("a control forward")
+    }
+
+    #[test]
+    fn stamps_strictly_increasing_clocks() {
+        let mut c = cta();
+        let o1 = c.on_uplink(ul(1, 1, MessageKind::ServiceRequest, false), Instant::ZERO);
+        let o2 = c.on_uplink(ul(1, 1, MessageKind::ServiceRequest, false), Instant::ZERO);
+        let get_clock = |outs: &[CtaOutput]| match &outs[0] {
+            CtaOutput::ToCpf {
+                msg: SysMsg::Control(e),
+                ..
+            } => e.clock,
+            other => panic!("unexpected {other:?}"),
+        };
+        assert!(get_clock(&o2) > get_clock(&o1));
+    }
+
+    #[test]
+    fn routes_to_ring_primary_consistently() {
+        let mut c = cta();
+        let t1 =
+            route_target(&c.on_uplink(ul(7, 1, MessageKind::ServiceRequest, false), Instant::ZERO));
+        let t2 =
+            route_target(&c.on_uplink(ul(7, 1, MessageKind::ServiceRequest, false), Instant::ZERO));
+        assert_eq!(t1, t2);
+        assert!(t1.raw() < 5, "primary must be a level-1 CPF");
+    }
+
+    #[test]
+    fn logs_and_prunes_on_full_acks() {
+        let mut c = cta();
+        let ue = UeId::new(3);
+        c.on_uplink(ul(3, 1, MessageKind::ServiceRequest, false), Instant::ZERO);
+        c.on_uplink(
+            ul(3, 1, MessageKind::InitialContextSetupResponse, true),
+            Instant::ZERO,
+        );
+        assert!(c.log_bytes() > 0);
+        let backups = c.backups_for(ue);
+        assert_eq!(backups.len(), 2);
+        for b in &backups {
+            c.on_sync_ack(
+                SyncAck {
+                    ue,
+                    replica: *b,
+                    procedure: ProcedureId::new(1),
+                    end_clock: ClockTick(2),
+                },
+                Instant::ZERO,
+            );
+        }
+        assert_eq!(c.log_bytes(), 0, "fully acked procedure must be pruned");
+        assert!(c.max_log_bytes() > 0);
+    }
+
+    #[test]
+    fn failover_scenario1_routes_to_synced_backup_without_replay() {
+        let mut c = cta();
+        let ue = UeId::new(3);
+        // Complete procedure 1, both backups ack.
+        c.on_uplink(ul(3, 1, MessageKind::ServiceRequest, true), Instant::ZERO);
+        let backups = c.backups_for(ue);
+        for b in &backups {
+            c.on_sync_ack(
+                SyncAck {
+                    ue,
+                    replica: *b,
+                    procedure: ProcedureId::new(1),
+                    end_clock: ClockTick(1),
+                },
+                Instant::ZERO,
+            );
+        }
+        let primary = c.primary_for(ue).unwrap();
+        c.on_cpf_failure(primary, Instant::ZERO);
+        // Next message fails over with no replay.
+        let outs = c.on_uplink(ul(3, 2, MessageKind::ServiceRequest, false), Instant::ZERO);
+        assert!(backups.contains(&route_target(&outs)));
+        assert!(
+            !outs.iter().any(|o| matches!(
+                o,
+                CtaOutput::ToCpf {
+                    msg: SysMsg::Replay(_),
+                    ..
+                }
+            )),
+            "scenario 1 must not replay"
+        );
+        assert_eq!(c.metrics().failover_up_to_date, 1);
+    }
+
+    #[test]
+    fn failover_scenario2_replays_ongoing_procedure() {
+        let mut c = cta();
+        let ue = UeId::new(3);
+        // Procedure 1 completes and is acked.
+        c.on_uplink(ul(3, 1, MessageKind::ServiceRequest, true), Instant::ZERO);
+        let backups = c.backups_for(ue);
+        for b in &backups {
+            c.on_sync_ack(
+                SyncAck {
+                    ue,
+                    replica: *b,
+                    procedure: ProcedureId::new(1),
+                    end_clock: ClockTick(1),
+                },
+                Instant::ZERO,
+            );
+        }
+        // Procedure 2 starts (two messages logged), then the primary dies.
+        // The failure notice itself must recover the stuck UE: replay the
+        // earlier message(s) and re-drive the unanswered last one.
+        c.on_uplink(ul(3, 2, MessageKind::ServiceRequest, false), Instant::ZERO);
+        c.on_uplink(
+            ul(3, 2, MessageKind::InitialContextSetupResponse, false),
+            Instant::ZERO,
+        );
+        let primary = c.primary_for(ue).unwrap();
+        let outs = c.on_cpf_failure(primary, Instant::ZERO);
+        let replay = outs.iter().find_map(|o| match o {
+            CtaOutput::ToCpf {
+                cpf,
+                msg: SysMsg::Replay(r),
+            } => Some((*cpf, r.clone())),
+            _ => None,
+        });
+        let (replica, replay) = replay.expect("scenario 2 must replay");
+        assert_eq!(replay.messages.len(), 1, "only the earlier message replays");
+        assert_eq!(replay.messages[0].procedure, ProcedureId::new(2));
+        assert_eq!(
+            route_target(&outs),
+            replica,
+            "the unanswered message is re-driven to the new primary"
+        );
+        assert_eq!(c.metrics().failover_replayed, 1);
+        // The UE's next message routes to the promoted replica, no replay.
+        let outs = c.on_uplink(ul(3, 2, MessageKind::AttachComplete, false), Instant::ZERO);
+        assert_eq!(route_target(&outs), replica);
+        assert!(!outs.iter().any(|o| matches!(
+            o,
+            CtaOutput::ToCpf {
+                msg: SysMsg::Replay(_),
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn failover_scenario3_asks_re_attach_when_nobody_synced() {
+        let mut c = cta();
+        let ue = UeId::new(3);
+        // Procedure in flight, no acks ever.
+        c.on_uplink(ul(3, 1, MessageKind::ServiceRequest, false), Instant::ZERO);
+        let primary = c.primary_for(ue).unwrap();
+        let outs = c.on_cpf_failure(primary, Instant::ZERO);
+        assert!(
+            outs.iter().any(|o| matches!(
+                o,
+                CtaOutput::ToBs {
+                    msg: SysMsg::AskReAttach { .. },
+                    ..
+                }
+            )),
+            "scenario 3 must re-attach, got {outs:?}"
+        );
+        assert_eq!(c.metrics().failover_re_attach, 1);
+        let _ = ue;
+    }
+
+    #[test]
+    fn epc_policy_always_re_attaches() {
+        let mut c = CtaCore::new(CtaConfig::epc(CtaId::new(0)), ring());
+        let ue = UeId::new(3);
+        c.on_uplink(ul(3, 1, MessageKind::ServiceRequest, true), Instant::ZERO);
+        let primary = c.primary_for(ue).unwrap();
+        // EPC logs nothing, so the notice alone produces no outputs; the
+        // next uplink triggers the re-attach.
+        assert!(c.on_cpf_failure(primary, Instant::ZERO).is_empty());
+        let outs = c.on_uplink(ul(3, 2, MessageKind::ServiceRequest, false), Instant::ZERO);
+        assert!(outs.iter().any(|o| matches!(
+            o,
+            CtaOutput::ToBs {
+                msg: SysMsg::AskReAttach { .. },
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn logging_disabled_keeps_log_empty() {
+        let mut cfg = CtaConfig::neutrino(CtaId::new(0), CodecKind::FastbufOptimized);
+        cfg.logging = false;
+        let mut c = CtaCore::new(cfg, ring());
+        for i in 0..50 {
+            c.on_uplink(
+                ul(3, i + 1, MessageKind::ServiceRequest, true),
+                Instant::ZERO,
+            );
+        }
+        assert_eq!(c.log_bytes(), 0);
+        assert_eq!(c.max_log_bytes(), 0);
+    }
+
+    #[test]
+    fn scan_times_out_unacked_procedures() {
+        let mut c = cta();
+        let ue = UeId::new(3);
+        c.on_uplink(ul(3, 1, MessageKind::ServiceRequest, true), Instant::ZERO);
+        let backups = c.backups_for(ue);
+        // Only one of two backups acks.
+        c.on_sync_ack(
+            SyncAck {
+                ue,
+                replica: backups[0],
+                procedure: ProcedureId::new(1),
+                end_clock: ClockTick(1),
+            },
+            Instant::ZERO,
+        );
+        // Before the timeout: nothing.
+        assert!(c.scan(Instant::from_secs(10)).is_empty());
+        assert!(c.log_bytes() > 0);
+        // After the timeout: MarkOutdated to the laggard, log dropped.
+        let outs = c.scan(Instant::from_secs(31));
+        let notices: Vec<_> = outs
+            .iter()
+            .filter_map(|o| match o {
+                CtaOutput::ToCpf {
+                    cpf,
+                    msg: SysMsg::MarkOutdated(m),
+                } => Some((*cpf, m.clone())),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(notices.len(), 1);
+        assert_eq!(notices[0].0, backups[1]);
+        assert!(notices[0].1.up_to_date.contains(&backups[0]));
+        assert_eq!(c.log_bytes(), 0);
+        assert_eq!(c.metrics().timeout_pruned, 1);
+    }
+
+    #[test]
+    fn new_procedure_with_missing_acks_notifies_laggards() {
+        let mut c = cta();
+        let ue = UeId::new(3);
+        c.on_uplink(ul(3, 1, MessageKind::ServiceRequest, true), Instant::ZERO);
+        let backups = c.backups_for(ue);
+        c.on_sync_ack(
+            SyncAck {
+                ue,
+                replica: backups[0],
+                procedure: ProcedureId::new(1),
+                end_clock: ClockTick(1),
+            },
+            Instant::ZERO,
+        );
+        // Second procedure starts while backup[1] never acked (§4.2.4(4)).
+        let outs = c.on_uplink(ul(3, 2, MessageKind::ServiceRequest, false), Instant::ZERO);
+        assert!(
+            outs.iter().any(|o| matches!(
+                o,
+                CtaOutput::ToCpf { cpf, msg: SysMsg::MarkOutdated(_) } if *cpf == backups[1]
+            )),
+            "laggard must be notified: {outs:?}"
+        );
+    }
+
+    #[test]
+    fn downlink_routes_to_bs_and_completes_procedures() {
+        let mut c = cta();
+        let env = Envelope::downlink(
+            UeId::new(4),
+            ProcedureId::new(1),
+            ProcedureKind::TrackingAreaUpdate,
+            MessageKind::TauAccept.sample(4),
+        )
+        .from_bs(BsId::new(9))
+        .ending_procedure();
+        let outs = c.on_downlink(env, Instant::ZERO);
+        assert!(matches!(
+            &outs[0],
+            CtaOutput::ToBs { bs, msg: SysMsg::Control(e) }
+                if *bs == BsId::new(9) && e.clock > ClockTick::ZERO
+        ));
+        assert_eq!(c.metrics().forwarded_downlink, 1);
+    }
+}

@@ -1,0 +1,313 @@
+//! The CTA's in-memory message log (§4.2.3).
+//!
+//! Per UE, per procedure: the logged uplink messages (what a replay
+//! reconstructs state from), the end-of-procedure logical clock, and the set
+//! of replicas that have ACKed the procedure's state checkpoint. The log
+//! tracks its own byte footprint — Fig. 17 reports exactly this number.
+
+use neutrino_common::clock::ClockTick;
+use neutrino_common::time::Instant;
+use neutrino_common::{CpfId, ProcedureId, UeId};
+use neutrino_messages::Envelope;
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+/// Log of one procedure's messages and replication progress.
+#[derive(Debug, Clone)]
+pub struct ProcedureLog {
+    /// Logged uplink messages in logical-clock order.
+    pub messages: Vec<Envelope>,
+    /// Wire bytes those messages occupy.
+    pub bytes: usize,
+    /// Clock of the procedure's last message, once seen.
+    pub end_clock: Option<ClockTick>,
+    /// Replicas that ACKed the checkpoint of this procedure.
+    pub acks: HashSet<CpfId>,
+    /// When the procedure completed (for the ACK timeout scan).
+    pub completed_at: Option<Instant>,
+    /// When the first message was logged.
+    pub started_at: Instant,
+}
+
+impl ProcedureLog {
+    fn new(now: Instant) -> Self {
+        ProcedureLog {
+            messages: Vec::new(),
+            bytes: 0,
+            end_clock: None,
+            acks: HashSet::new(),
+            completed_at: None,
+            started_at: now,
+        }
+    }
+}
+
+/// Per-UE log state.
+#[derive(Debug, Clone)]
+pub struct UeLog {
+    /// Procedures with still-logged messages (pruned once fully ACKed).
+    pub procedures: BTreeMap<ProcedureId, ProcedureLog>,
+    /// Last procedure each replica is known (via ACK) to be synced through.
+    pub synced_through: HashMap<CpfId, ProcedureId>,
+    /// Last procedure observed to complete.
+    pub last_completed: ProcedureId,
+    /// The procedure currently in flight (set on uplink, cleared when the
+    /// end-of-procedure message passes), with the UE's BS — used to recover
+    /// stuck UEs after a CPF failure even when message logging is off.
+    pub in_flight: Option<(ProcedureId, neutrino_common::BsId)>,
+    /// The BS the UE was last heard from (paging / re-attach routing).
+    pub last_bs: neutrino_common::BsId,
+}
+
+impl Default for UeLog {
+    fn default() -> Self {
+        UeLog {
+            procedures: BTreeMap::new(),
+            synced_through: HashMap::new(),
+            last_completed: ProcedureId(0),
+            in_flight: None,
+            last_bs: neutrino_common::BsId::new(0),
+        }
+    }
+}
+
+/// The whole in-memory message store, with byte accounting.
+#[derive(Debug, Default)]
+pub struct MessageLog {
+    ues: HashMap<UeId, UeLog>,
+    bytes: usize,
+    max_bytes: usize,
+}
+
+impl MessageLog {
+    /// An empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current footprint in bytes.
+    pub fn bytes(&self) -> usize {
+        self.bytes
+    }
+
+    /// Largest footprint ever observed (Fig. 17's y-axis).
+    pub fn max_bytes(&self) -> usize {
+        self.max_bytes
+    }
+
+    /// Per-UE view (creating it if absent).
+    pub fn ue_mut(&mut self, ue: UeId) -> &mut UeLog {
+        self.ues.entry(ue).or_default()
+    }
+
+    /// Per-UE view, read-only.
+    pub fn ue(&self, ue: UeId) -> Option<&UeLog> {
+        self.ues.get(&ue)
+    }
+
+    /// Appends an uplink message of `wire_bytes` to its procedure's log.
+    pub fn append(&mut self, env: Envelope, wire_bytes: usize, now: Instant) {
+        let entry = self
+            .ues
+            .entry(env.ue)
+            .or_default()
+            .procedures
+            .entry(env.procedure)
+            .or_insert_with(|| ProcedureLog::new(now));
+        entry.messages.push(env);
+        entry.bytes += wire_bytes;
+        self.bytes += wire_bytes;
+        if self.bytes > self.max_bytes {
+            self.max_bytes = self.bytes;
+        }
+    }
+
+    /// Marks a procedure complete (its last message just passed through).
+    pub fn complete(&mut self, ue: UeId, proc: ProcedureId, end_clock: ClockTick, now: Instant) {
+        let ue_log = self.ues.entry(ue).or_default();
+        if proc > ue_log.last_completed {
+            ue_log.last_completed = proc;
+        }
+        let entry = ue_log
+            .procedures
+            .entry(proc)
+            .or_insert_with(|| ProcedureLog::new(now));
+        entry.end_clock = Some(end_clock);
+        entry.completed_at = Some(now);
+    }
+
+    /// Records a replica ACK; prunes the procedure's messages once every
+    /// expected replica has ACKed. Returns `true` when pruning happened.
+    pub fn ack(&mut self, ue: UeId, proc: ProcedureId, replica: CpfId, expected: &[CpfId]) -> bool {
+        let ue_log = self.ues.entry(ue).or_default();
+        let prev = ue_log
+            .synced_through
+            .entry(replica)
+            .or_insert(ProcedureId(0));
+        if proc > *prev {
+            *prev = proc;
+        }
+        let entry = match ue_log.procedures.get_mut(&proc) {
+            Some(e) => e,
+            None => return false, // already pruned
+        };
+        entry.acks.insert(replica);
+        if !expected.is_empty() && expected.iter().all(|r| entry.acks.contains(r)) {
+            let freed = entry.bytes;
+            ue_log.procedures.remove(&proc);
+            self.bytes -= freed;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Drops a procedure's messages unconditionally (timeout path, §4.2.4
+    /// step 1d). Returns the freed byte count.
+    pub fn drop_procedure(&mut self, ue: UeId, proc: ProcedureId) -> usize {
+        if let Some(ue_log) = self.ues.get_mut(&ue) {
+            if let Some(entry) = ue_log.procedures.remove(&proc) {
+                self.bytes -= entry.bytes;
+                return entry.bytes;
+            }
+        }
+        0
+    }
+
+    /// All logged messages for procedures strictly after `since`, in order —
+    /// the replay set for a replica synced through `since`.
+    pub fn replay_set(&self, ue: UeId, since: ProcedureId) -> Vec<Envelope> {
+        let mut out = Vec::new();
+        if let Some(ue_log) = self.ues.get(&ue) {
+            for (proc, entry) in ue_log.procedures.range(ProcedureId(since.raw() + 1)..) {
+                debug_assert!(*proc > since);
+                out.extend(entry.messages.iter().cloned());
+            }
+        }
+        out
+    }
+
+    /// True when every procedure after `since` still has its messages
+    /// logged (i.e. a replay from `since` loses nothing).
+    pub fn replay_covers(&self, ue: UeId, since: ProcedureId) -> bool {
+        let ue_log = match self.ues.get(&ue) {
+            Some(l) => l,
+            None => return false,
+        };
+        // Every completed procedure after `since` must still be present.
+        for p in (since.raw() + 1)..=ue_log.last_completed.raw() {
+            if !ue_log.procedures.contains_key(&ProcedureId(p)) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Iterates UEs with logged state (for the pruning scan).
+    pub fn ues(&self) -> impl Iterator<Item = (&UeId, &UeLog)> {
+        self.ues.iter()
+    }
+
+    /// Number of UEs tracked.
+    pub fn ue_count(&self) -> usize {
+        self.ues.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neutrino_messages::{MessageKind, ProcedureKind};
+
+    fn env(ue: u64, proc: u64, clock: u64) -> Envelope {
+        let mut e = Envelope::uplink(
+            UeId::new(ue),
+            ProcedureId::new(proc),
+            ProcedureKind::ServiceRequest,
+            MessageKind::ServiceRequest.sample(ue),
+        );
+        e.clock = ClockTick(clock);
+        e
+    }
+
+    #[test]
+    fn byte_accounting_tracks_appends_and_prunes() {
+        let mut log = MessageLog::new();
+        let ue = UeId::new(1);
+        log.append(env(1, 1, 1), 100, Instant::ZERO);
+        log.append(env(1, 1, 2), 50, Instant::ZERO);
+        assert_eq!(log.bytes(), 150);
+        log.complete(ue, ProcedureId::new(1), ClockTick(2), Instant::ZERO);
+        let replicas = [CpfId::new(10), CpfId::new(11)];
+        assert!(!log.ack(ue, ProcedureId::new(1), replicas[0], &replicas));
+        assert_eq!(log.bytes(), 150, "waiting for second ack");
+        assert!(log.ack(ue, ProcedureId::new(1), replicas[1], &replicas));
+        assert_eq!(log.bytes(), 0, "fully acked → pruned");
+        assert_eq!(log.max_bytes(), 150);
+    }
+
+    #[test]
+    fn replay_set_orders_across_procedures() {
+        let mut log = MessageLog::new();
+        let ue = UeId::new(1);
+        log.append(env(1, 1, 1), 10, Instant::ZERO);
+        log.complete(ue, ProcedureId::new(1), ClockTick(1), Instant::ZERO);
+        log.append(env(1, 2, 2), 10, Instant::ZERO);
+        log.append(env(1, 2, 3), 10, Instant::ZERO);
+        let all = log.replay_set(ue, ProcedureId(0));
+        assert_eq!(all.len(), 3);
+        assert!(all.windows(2).all(|w| w[0].clock < w[1].clock));
+        let tail = log.replay_set(ue, ProcedureId::new(1));
+        assert_eq!(tail.len(), 2);
+        assert!(tail.iter().all(|e| e.procedure == ProcedureId::new(2)));
+    }
+
+    #[test]
+    fn replay_covers_detects_gaps() {
+        let mut log = MessageLog::new();
+        let ue = UeId::new(1);
+        log.append(env(1, 1, 1), 10, Instant::ZERO);
+        log.complete(ue, ProcedureId::new(1), ClockTick(1), Instant::ZERO);
+        log.append(env(1, 2, 2), 10, Instant::ZERO);
+        log.complete(ue, ProcedureId::new(2), ClockTick(2), Instant::ZERO);
+        assert!(log.replay_covers(ue, ProcedureId(0)));
+        assert!(log.replay_covers(ue, ProcedureId::new(1)));
+        // Prune procedure 1 (timeout path): replay from 0 now has a gap.
+        log.drop_procedure(ue, ProcedureId::new(1));
+        assert!(!log.replay_covers(ue, ProcedureId(0)));
+        assert!(log.replay_covers(ue, ProcedureId::new(1)));
+    }
+
+    #[test]
+    fn drop_procedure_frees_bytes() {
+        let mut log = MessageLog::new();
+        let ue = UeId::new(1);
+        log.append(env(1, 1, 1), 77, Instant::ZERO);
+        assert_eq!(log.drop_procedure(ue, ProcedureId::new(1)), 77);
+        assert_eq!(log.bytes(), 0);
+        assert_eq!(log.drop_procedure(ue, ProcedureId::new(1)), 0);
+    }
+
+    #[test]
+    fn ack_for_pruned_procedure_is_harmless() {
+        let mut log = MessageLog::new();
+        let ue = UeId::new(1);
+        assert!(!log.ack(ue, ProcedureId::new(5), CpfId::new(1), &[CpfId::new(1)]));
+        // But synced_through still advances — late ACKs count for failover.
+        assert_eq!(
+            log.ue(ue).unwrap().synced_through[&CpfId::new(1)],
+            ProcedureId::new(5)
+        );
+    }
+
+    #[test]
+    fn synced_through_never_regresses() {
+        let mut log = MessageLog::new();
+        let ue = UeId::new(1);
+        log.ack(ue, ProcedureId::new(5), CpfId::new(1), &[]);
+        log.ack(ue, ProcedureId::new(3), CpfId::new(1), &[]);
+        assert_eq!(
+            log.ue(ue).unwrap().synced_through[&CpfId::new(1)],
+            ProcedureId::new(5)
+        );
+    }
+}

@@ -1,0 +1,98 @@
+//! Property-based tests of the geo substrate: consistent-hashing invariants
+//! and geohash structure over random inputs.
+
+use neutrino_common::{CpfId, UeId};
+use neutrino_geo::{ConsistentRing, GeoHash, RingStack};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Removing any member never remaps a key whose owner is still alive.
+    #[test]
+    fn minimal_disruption(members in proptest::collection::hash_set(0u64..500, 2..12),
+                          victim_pick in any::<proptest::sample::Index>(),
+                          keys in proptest::collection::vec(any::<u64>(), 1..100)) {
+        let members: Vec<CpfId> = members.into_iter().map(CpfId::new).collect();
+        let mut ring = ConsistentRing::new();
+        for &m in &members {
+            ring.add(m);
+        }
+        let victim = members[victim_pick.index(members.len())];
+        let before: Vec<_> = keys.iter().map(|&k| ring.primary(UeId::new(k)).unwrap()).collect();
+        ring.remove(victim);
+        for (&k, &was) in keys.iter().zip(&before) {
+            let now = ring.primary(UeId::new(k)).unwrap();
+            prop_assert_ne!(now, victim);
+            if was != victim {
+                prop_assert_eq!(now, was, "key {} moved although its owner lived", k);
+            }
+        }
+    }
+
+    /// Successor lists are distinct, ordered deterministically, and capped
+    /// by membership.
+    #[test]
+    fn successors_invariants(members in proptest::collection::hash_set(0u64..500, 1..10),
+                             key in any::<u64>(),
+                             n in 0usize..12) {
+        let mut ring = ConsistentRing::new();
+        for &m in &members {
+            ring.add(CpfId::new(m));
+        }
+        let succ = ring.successors(UeId::new(key), n);
+        prop_assert_eq!(succ.len(), n.min(members.len()));
+        let set: std::collections::HashSet<_> = succ.iter().collect();
+        prop_assert_eq!(set.len(), succ.len(), "successors must be distinct");
+        prop_assert_eq!(ring.successors(UeId::new(key), n), succ, "deterministic");
+        if n >= 1 {
+            let p = ring.primary(UeId::new(key)).unwrap();
+            prop_assert_eq!(ring.successors(UeId::new(key), 1)[0], p);
+        }
+    }
+
+    /// A ring stack's backups never include the primary and never include
+    /// level-1 members while a level-2 ring exists.
+    #[test]
+    fn stack_placement(l1 in proptest::collection::hash_set(0u64..50, 1..6),
+                       l2 in proptest::collection::hash_set(50u64..200, 0..12),
+                       replicas in 0usize..4,
+                       key in any::<u64>()) {
+        let l1: Vec<CpfId> = l1.into_iter().map(CpfId::new).collect();
+        let l2v: Vec<CpfId> = l2.into_iter().map(CpfId::new).collect();
+        let stack = RingStack::new(&l1, &l2v, replicas);
+        let ue = UeId::new(key);
+        let primary = stack.primary(ue).unwrap();
+        prop_assert!(l1.contains(&primary));
+        let backups = stack.backups(ue);
+        prop_assert!(backups.len() <= replicas);
+        for b in &backups {
+            prop_assert_ne!(*b, primary);
+            if !l2v.is_empty() {
+                prop_assert!(!l1.contains(b), "backup {} must be in level 2", b);
+            }
+        }
+    }
+
+    /// Geohash parent/child and containment laws.
+    #[test]
+    fn geohash_laws(lon in -179.9f64..179.9, lat in -89.9f64..89.9, len in 1u8..20) {
+        let h = GeoHash::encode(lon, lat, len);
+        prop_assert_eq!(h.len(), len);
+        // Encode is idempotent on the cell center.
+        let (clon, clat) = h.center();
+        prop_assert_eq!(GeoHash::encode(clon, clat, len), h);
+        // parent contains child; child(c).parent() round-trips.
+        if let Some(p) = h.parent() {
+            prop_assert!(p.contains(&h));
+            prop_assert!(!h.contains(&p));
+        }
+        for c in 0..4 {
+            if len < GeoHash::MAX_LEN {
+                let child = h.child(c);
+                prop_assert_eq!(child.parent(), Some(h));
+                prop_assert!(h.contains(&child));
+            }
+        }
+    }
+}

@@ -1,0 +1,300 @@
+//! The unified control-message type the control plane routes.
+//!
+//! [`ControlMessage`] sums every NAS and S1AP message; [`MessageKind`] is its
+//! fieldless mirror used as a key in cost tables and procedure templates;
+//! [`Envelope`] is the routable unit: message + UE id + procedure id + the
+//! logical clock the CTA stamps (§4.2.3).
+
+use crate::nas::*;
+use crate::procedures::ProcedureKind;
+use crate::s1ap::*;
+use crate::wire::Wire;
+use neutrino_codec::value::{Schema, Value};
+use neutrino_codec::WireFormat;
+use neutrino_common::clock::ClockTick;
+use neutrino_common::{BsId, CtaId, ProcedureId, Result, UeId};
+use std::sync::Arc;
+
+/// Message travel direction relative to the core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Direction {
+    /// UE/BS → CTA → CPF.
+    Uplink,
+    /// CPF → CTA → BS/UE.
+    Downlink,
+}
+
+macro_rules! control_messages {
+    ($( $variant:ident ),+ $(,)?) => {
+        /// Any control message exchanged between UE/BS and the control plane.
+        #[derive(Debug, Clone, PartialEq)]
+        pub enum ControlMessage {
+            $(
+                #[doc = concat!("See [`", stringify!($variant), "`].")]
+                $variant($variant),
+            )+
+        }
+
+        /// Fieldless mirror of [`ControlMessage`]; keys cost tables and
+        /// procedure templates.
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+        pub enum MessageKind {
+            $(
+                #[doc = concat!("Kind of [`", stringify!($variant), "`].")]
+                $variant,
+            )+
+        }
+
+        impl MessageKind {
+            /// Every message kind.
+            pub const ALL: &'static [MessageKind] = &[
+                $(MessageKind::$variant,)+
+            ];
+
+            /// Stable display name.
+            pub fn name(self) -> &'static str {
+                match self {
+                    $(MessageKind::$variant => stringify!($variant),)+
+                }
+            }
+
+            /// The schema of this message kind.
+            pub fn schema(self) -> Arc<Schema> {
+                match self {
+                    $(MessageKind::$variant => <$variant as Wire>::schema(),)+
+                }
+            }
+
+            /// A realistic sample of this message kind.
+            pub fn sample(self, seed: u64) -> ControlMessage {
+                match self {
+                    $(MessageKind::$variant =>
+                        ControlMessage::$variant(<$variant as Wire>::sample(seed)),)+
+                }
+            }
+
+            /// Parses a decoded value of this kind back into a message.
+            pub fn from_value(self, v: &Value) -> Result<ControlMessage> {
+                match self {
+                    $(MessageKind::$variant =>
+                        Ok(ControlMessage::$variant(<$variant as Wire>::from_value(v)?)),)+
+                }
+            }
+        }
+
+        impl ControlMessage {
+            /// The kind of this message.
+            pub fn kind(&self) -> MessageKind {
+                match self {
+                    $(ControlMessage::$variant(_) => MessageKind::$variant,)+
+                }
+            }
+
+            /// Converts to the codec value model.
+            pub fn to_value(&self) -> Value {
+                match self {
+                    $(ControlMessage::$variant(m) => m.to_value(),)+
+                }
+            }
+        }
+    };
+}
+
+control_messages!(
+    // NAS
+    AttachRequest,
+    AttachAccept,
+    AttachComplete,
+    ServiceRequest,
+    ServiceAccept,
+    TauRequest,
+    TauAccept,
+    DetachRequest,
+    DetachAccept,
+    AuthenticationRequest,
+    AuthenticationResponse,
+    SecurityModeCommand,
+    SecurityModeComplete,
+    // S1AP
+    InitialUeMessage,
+    InitialContextSetupRequest,
+    InitialContextSetupResponse,
+    ERabSetupRequest,
+    ERabSetupResponse,
+    UplinkNasTransport,
+    DownlinkNasTransport,
+    HandoverRequired,
+    HandoverRequest,
+    HandoverRequestAck,
+    HandoverCommand,
+    HandoverNotify,
+    UeContextReleaseCommand,
+    UeContextReleaseComplete,
+    Paging,
+);
+
+impl ControlMessage {
+    /// Encodes the message through a codec.
+    pub fn encode(&self, codec: &dyn WireFormat, out: &mut Vec<u8>) -> Result<()> {
+        codec.encode(&self.kind().schema(), &self.to_value(), out)
+    }
+
+    /// Decodes a message of known `kind` through a codec.
+    pub fn decode(kind: MessageKind, codec: &dyn WireFormat, bytes: &[u8]) -> Result<Self> {
+        kind.from_value(&codec.decode(&kind.schema(), bytes)?)
+    }
+}
+
+impl std::fmt::Display for MessageKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A routable control message: the payload plus the identifiers the CTA and
+/// CPF use to route, log, and replay it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Envelope {
+    /// The UE this message concerns.
+    pub ue: UeId,
+    /// Which procedure run it belongs to (unique per UE).
+    pub procedure: ProcedureId,
+    /// The kind of procedure this message is part of.
+    pub proc_kind: ProcedureKind,
+    /// The base station the UE is (or was last) attached through — uplink
+    /// provenance and downlink routing target.
+    pub bs: BsId,
+    /// The CTA the message was routed through (stamped by the CTA alongside
+    /// the logical clock); responses return via the same CTA.
+    pub via_cta: Option<CtaId>,
+    /// Logical clock stamped by the CTA on first receipt; `ClockTick::ZERO`
+    /// until stamped.
+    pub clock: ClockTick,
+    /// Travel direction.
+    pub direction: Direction,
+    /// True when this is the last message of its procedure — the CPF uses it
+    /// to trigger the per-procedure state checkpoint (§4.2.2) and the CTA to
+    /// delimit the log (§4.2.3).
+    pub end_of_procedure: bool,
+    /// The message itself.
+    pub msg: ControlMessage,
+}
+
+impl Envelope {
+    /// Creates an unstamped uplink envelope.
+    pub fn uplink(
+        ue: UeId,
+        procedure: ProcedureId,
+        proc_kind: ProcedureKind,
+        msg: ControlMessage,
+    ) -> Self {
+        Envelope {
+            ue,
+            procedure,
+            proc_kind,
+            bs: BsId::new(0),
+            via_cta: None,
+            clock: ClockTick::ZERO,
+            direction: Direction::Uplink,
+            end_of_procedure: false,
+            msg,
+        }
+    }
+
+    /// Creates a downlink envelope.
+    pub fn downlink(
+        ue: UeId,
+        procedure: ProcedureId,
+        proc_kind: ProcedureKind,
+        msg: ControlMessage,
+    ) -> Self {
+        Envelope {
+            ue,
+            procedure,
+            proc_kind,
+            bs: BsId::new(0),
+            via_cta: None,
+            clock: ClockTick::ZERO,
+            direction: Direction::Downlink,
+            end_of_procedure: false,
+            msg,
+        }
+    }
+
+    /// Sets the base station.
+    pub fn from_bs(mut self, bs: BsId) -> Self {
+        self.bs = bs;
+        self
+    }
+
+    /// Marks this envelope as the last message of its procedure.
+    pub fn ending_procedure(mut self) -> Self {
+        self.end_of_procedure = true;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neutrino_codec::CodecKind;
+
+    #[test]
+    fn all_kinds_have_distinct_names_and_schemas() {
+        let mut names = std::collections::HashSet::new();
+        for kind in MessageKind::ALL {
+            assert!(names.insert(kind.name()), "duplicate name {kind}");
+            assert!(!kind.schema().fields.is_empty());
+        }
+        assert_eq!(MessageKind::ALL.len(), 28);
+    }
+
+    #[test]
+    fn kind_round_trips_through_sample() {
+        for kind in MessageKind::ALL {
+            let msg = kind.sample(42);
+            assert_eq!(msg.kind(), *kind);
+        }
+    }
+
+    #[test]
+    fn every_kind_encodes_and_decodes_through_per_and_fastbuf() {
+        for kind in MessageKind::ALL {
+            for codec_kind in [
+                CodecKind::Asn1Per,
+                CodecKind::Fastbuf,
+                CodecKind::FastbufOptimized,
+            ] {
+                let codec = codec_kind.instance();
+                let msg = kind.sample(7);
+                let mut buf = Vec::new();
+                msg.encode(codec.as_ref(), &mut buf)
+                    .unwrap_or_else(|e| panic!("{kind}/{codec_kind}: encode: {e}"));
+                let back = ControlMessage::decode(*kind, codec.as_ref(), &buf)
+                    .unwrap_or_else(|e| panic!("{kind}/{codec_kind}: decode: {e}"));
+                assert_eq!(back, msg, "{kind}/{codec_kind}");
+            }
+        }
+    }
+
+    #[test]
+    fn envelope_builders_set_direction_and_eop() {
+        let e = Envelope::uplink(
+            UeId::new(1),
+            ProcedureId::FIRST,
+            crate::procedures::ProcedureKind::ServiceRequest,
+            MessageKind::ServiceRequest.sample(1),
+        );
+        assert_eq!(e.direction, Direction::Uplink);
+        assert!(!e.end_of_procedure);
+        let e = e.ending_procedure();
+        assert!(e.end_of_procedure);
+        let d = Envelope::downlink(
+            UeId::new(1),
+            ProcedureId::FIRST,
+            crate::procedures::ProcedureKind::ServiceRequest,
+            MessageKind::ServiceAccept.sample(1),
+        );
+        assert_eq!(d.direction, Direction::Downlink);
+    }
+}

@@ -1,0 +1,484 @@
+//! Common information elements (IEs) shared by NAS and S1AP messages.
+//!
+//! Field layouts follow TS 36.413 / TS 24.301 closely enough that the
+//! serialization benchmarks exercise the same structure the paper measured:
+//! nested SEQUENCEs, small constrained integers, octet strings for
+//! transport containers, and CHOICEs for UE identities.
+
+use crate::wire::{field_err, fields, get_bytes, get_str, get_u16, get_u32, get_u64, get_u8, Wire};
+use neutrino_codec::value::{FieldType, Schema, StructSchema, Value, Variant};
+use neutrino_common::Result;
+use std::sync::Arc;
+use std::sync::OnceLock;
+
+/// Tracking Area Identity: PLMN (3 octets worth) + 16-bit TAC.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Tai {
+    /// Packed MCC/MNC (3 octets of BCD in real networks; carried as u32).
+    pub plmn: u32,
+    /// Tracking area code.
+    pub tac: u16,
+}
+
+impl Tai {
+    /// Field type of a TAI sub-structure.
+    pub fn field_type() -> FieldType {
+        FieldType::Struct(Self::schema())
+    }
+}
+
+impl Wire for Tai {
+    fn schema() -> Arc<Schema> {
+        static SCHEMA: OnceLock<Arc<Schema>> = OnceLock::new();
+        SCHEMA
+            .get_or_init(|| {
+                Arc::new(
+                    StructSchema::builder("Tai")
+                        .field(
+                            "plmn",
+                            FieldType::Constrained {
+                                lo: 0,
+                                hi: 0xFF_FFFF,
+                            },
+                        )
+                        .field("tac", FieldType::UInt { bits: 16 })
+                        .build(),
+                )
+            })
+            .clone()
+    }
+
+    fn to_value(&self) -> Value {
+        Value::Struct(vec![
+            Value::U64(u64::from(self.plmn)),
+            Value::U64(u64::from(self.tac)),
+        ])
+    }
+
+    fn from_value(v: &Value) -> Result<Self> {
+        let f = fields(v, "Tai", 2)?;
+        Ok(Tai {
+            plmn: get_u32(&f[0], "Tai", "plmn")?,
+            tac: get_u16(&f[1], "Tai", "tac")?,
+        })
+    }
+
+    fn sample(seed: u64) -> Self {
+        Tai {
+            plmn: 0x13_00_14, // mcc 310 / mnc 410 style packing
+            tac: (seed % 0xFFFF) as u16,
+        }
+    }
+}
+
+/// E-UTRAN Cell Global Identifier: PLMN + 28-bit cell id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Cgi {
+    /// Packed MCC/MNC.
+    pub plmn: u32,
+    /// 28-bit cell identity (eNB id + cell within eNB).
+    pub cell_id: u32,
+}
+
+impl Cgi {
+    /// Field type of a CGI sub-structure.
+    pub fn field_type() -> FieldType {
+        FieldType::Struct(Self::schema())
+    }
+}
+
+impl Wire for Cgi {
+    fn schema() -> Arc<Schema> {
+        static SCHEMA: OnceLock<Arc<Schema>> = OnceLock::new();
+        SCHEMA
+            .get_or_init(|| {
+                Arc::new(
+                    StructSchema::builder("Cgi")
+                        .field(
+                            "plmn",
+                            FieldType::Constrained {
+                                lo: 0,
+                                hi: 0xFF_FFFF,
+                            },
+                        )
+                        .field(
+                            "cell_id",
+                            FieldType::Constrained {
+                                lo: 0,
+                                hi: 0x0FFF_FFFF,
+                            },
+                        )
+                        .build(),
+                )
+            })
+            .clone()
+    }
+
+    fn to_value(&self) -> Value {
+        Value::Struct(vec![
+            Value::U64(u64::from(self.plmn)),
+            Value::U64(u64::from(self.cell_id)),
+        ])
+    }
+
+    fn from_value(v: &Value) -> Result<Self> {
+        let f = fields(v, "Cgi", 2)?;
+        Ok(Cgi {
+            plmn: get_u32(&f[0], "Cgi", "plmn")?,
+            cell_id: get_u32(&f[1], "Cgi", "cell_id")?,
+        })
+    }
+
+    fn sample(seed: u64) -> Self {
+        Cgi {
+            plmn: 0x13_00_14,
+            cell_id: (seed.wrapping_mul(2654435761) % 0x0FFF_FFFF) as u32,
+        }
+    }
+}
+
+/// UE identity CHOICE: S-TMSI (the common case) or IMSI digits — the union
+/// shape the svtable optimization targets.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum UeIdentity {
+    /// Temporary identity: MME code + M-TMSI.
+    STmsi(u32),
+    /// Permanent identity as a decimal digit string.
+    Imsi(String),
+}
+
+impl UeIdentity {
+    /// The CHOICE field type.
+    pub fn field_type() -> FieldType {
+        FieldType::Choice(vec![
+            Variant {
+                name: "s_tmsi".into(),
+                ty: FieldType::UInt { bits: 32 },
+            },
+            Variant {
+                name: "imsi".into(),
+                ty: FieldType::Utf8 { max: Some(15) },
+            },
+        ])
+    }
+
+    /// Converts to a codec value.
+    pub fn to_value(&self) -> Value {
+        match self {
+            UeIdentity::STmsi(t) => Value::choice(0, Value::U64(u64::from(*t))),
+            UeIdentity::Imsi(s) => Value::choice(1, Value::Str(s.clone())),
+        }
+    }
+
+    /// Parses from a codec value.
+    pub fn from_value(v: &Value) -> Result<Self> {
+        match v {
+            Value::Choice { index: 0, value } => {
+                Ok(UeIdentity::STmsi(get_u32(value, "UeIdentity", "s_tmsi")?))
+            }
+            Value::Choice { index: 1, value } => Ok(UeIdentity::Imsi(
+                get_str(value, "UeIdentity", "imsi")?.to_owned(),
+            )),
+            _ => Err(field_err("UeIdentity", "choice")),
+        }
+    }
+}
+
+/// An E-RAB (bearer) requested for setup.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ErabToSetup {
+    /// E-RAB id (0..=15).
+    pub erab_id: u8,
+    /// QoS class identifier (1..=9).
+    pub qci: u8,
+    /// Allocation/retention priority (1..=15).
+    pub arp: u8,
+    /// Transport layer address of the UPF endpoint (4 or 16 octets).
+    pub transport_address: Vec<u8>,
+    /// GTP tunnel endpoint id on the UPF.
+    pub gtp_teid: u32,
+    /// Piggy-backed NAS PDU, when present.
+    pub nas_pdu: Option<Vec<u8>>,
+}
+
+impl Wire for ErabToSetup {
+    fn schema() -> Arc<Schema> {
+        static SCHEMA: OnceLock<Arc<Schema>> = OnceLock::new();
+        SCHEMA
+            .get_or_init(|| {
+                Arc::new(
+                    StructSchema::builder("ErabToSetup")
+                        .field("erab_id", FieldType::Constrained { lo: 0, hi: 15 })
+                        .field("qci", FieldType::Constrained { lo: 1, hi: 9 })
+                        .field("arp", FieldType::Constrained { lo: 1, hi: 15 })
+                        .field("transport_address", FieldType::Bytes { max: Some(16) })
+                        .field("gtp_teid", FieldType::UInt { bits: 32 })
+                        .field(
+                            "nas_pdu",
+                            FieldType::Optional(Box::new(FieldType::Bytes { max: None })),
+                        )
+                        .build(),
+                )
+            })
+            .clone()
+    }
+
+    fn to_value(&self) -> Value {
+        Value::Struct(vec![
+            Value::U64(u64::from(self.erab_id)),
+            Value::U64(u64::from(self.qci)),
+            Value::U64(u64::from(self.arp)),
+            Value::Bytes(self.transport_address.clone()),
+            Value::U64(u64::from(self.gtp_teid)),
+            match &self.nas_pdu {
+                Some(pdu) => Value::some(Value::Bytes(pdu.clone())),
+                None => Value::none(),
+            },
+        ])
+    }
+
+    fn from_value(v: &Value) -> Result<Self> {
+        let f = fields(v, "ErabToSetup", 6)?;
+        let nas_pdu = match &f[5] {
+            Value::Optional(Some(inner)) => {
+                Some(get_bytes(inner, "ErabToSetup", "nas_pdu")?.to_vec())
+            }
+            Value::Optional(None) => None,
+            _ => return Err(field_err("ErabToSetup", "nas_pdu")),
+        };
+        Ok(ErabToSetup {
+            erab_id: get_u8(&f[0], "ErabToSetup", "erab_id")?,
+            qci: get_u8(&f[1], "ErabToSetup", "qci")?,
+            arp: get_u8(&f[2], "ErabToSetup", "arp")?,
+            transport_address: get_bytes(&f[3], "ErabToSetup", "transport_address")?.to_vec(),
+            gtp_teid: get_u32(&f[4], "ErabToSetup", "gtp_teid")?,
+            nas_pdu,
+        })
+    }
+
+    fn sample(seed: u64) -> Self {
+        ErabToSetup {
+            erab_id: (seed % 16) as u8,
+            qci: 1 + (seed % 9) as u8,
+            arp: 1 + (seed % 15) as u8,
+            transport_address: vec![10, 0, (seed >> 8) as u8, seed as u8],
+            gtp_teid: (seed.wrapping_mul(0x9E3779B9) & 0xFFFF_FFFF) as u32,
+            nas_pdu: if seed.is_multiple_of(2) {
+                Some(vec![0x27; 46]) // typical piggy-backed activate-default-bearer
+            } else {
+                None
+            },
+        }
+    }
+}
+
+/// An E-RAB successfully set up (response list item).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ErabSetupItem {
+    /// E-RAB id.
+    pub erab_id: u8,
+    /// Transport layer address of the eNB endpoint.
+    pub transport_address: Vec<u8>,
+    /// GTP tunnel endpoint id on the eNB.
+    pub gtp_teid: u32,
+}
+
+impl Wire for ErabSetupItem {
+    fn schema() -> Arc<Schema> {
+        static SCHEMA: OnceLock<Arc<Schema>> = OnceLock::new();
+        SCHEMA
+            .get_or_init(|| {
+                Arc::new(
+                    StructSchema::builder("ErabSetupItem")
+                        .field("erab_id", FieldType::Constrained { lo: 0, hi: 15 })
+                        .field("transport_address", FieldType::Bytes { max: Some(16) })
+                        .field("gtp_teid", FieldType::UInt { bits: 32 })
+                        .build(),
+                )
+            })
+            .clone()
+    }
+
+    fn to_value(&self) -> Value {
+        Value::Struct(vec![
+            Value::U64(u64::from(self.erab_id)),
+            Value::Bytes(self.transport_address.clone()),
+            Value::U64(u64::from(self.gtp_teid)),
+        ])
+    }
+
+    fn from_value(v: &Value) -> Result<Self> {
+        let f = fields(v, "ErabSetupItem", 3)?;
+        Ok(ErabSetupItem {
+            erab_id: get_u8(&f[0], "ErabSetupItem", "erab_id")?,
+            transport_address: get_bytes(&f[1], "ErabSetupItem", "transport_address")?.to_vec(),
+            gtp_teid: get_u32(&f[2], "ErabSetupItem", "gtp_teid")?,
+        })
+    }
+
+    fn sample(seed: u64) -> Self {
+        ErabSetupItem {
+            erab_id: (seed % 16) as u8,
+            transport_address: vec![10, 1, (seed >> 8) as u8, seed as u8],
+            gtp_teid: (seed.wrapping_mul(0x85EB_CA6B) & 0xFFFF_FFFF) as u32,
+        }
+    }
+}
+
+/// An E-RAB that failed to set up.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ErabFailedItem {
+    /// E-RAB id.
+    pub erab_id: u8,
+    /// Failure cause code.
+    pub cause: u8,
+}
+
+impl Wire for ErabFailedItem {
+    fn schema() -> Arc<Schema> {
+        static SCHEMA: OnceLock<Arc<Schema>> = OnceLock::new();
+        SCHEMA
+            .get_or_init(|| {
+                Arc::new(
+                    StructSchema::builder("ErabFailedItem")
+                        .field("erab_id", FieldType::Constrained { lo: 0, hi: 15 })
+                        .field("cause", FieldType::Enum { variants: 16 })
+                        .build(),
+                )
+            })
+            .clone()
+    }
+
+    fn to_value(&self) -> Value {
+        Value::Struct(vec![
+            Value::U64(u64::from(self.erab_id)),
+            Value::U64(u64::from(self.cause)),
+        ])
+    }
+
+    fn from_value(v: &Value) -> Result<Self> {
+        let f = fields(v, "ErabFailedItem", 2)?;
+        Ok(ErabFailedItem {
+            erab_id: get_u8(&f[0], "ErabFailedItem", "erab_id")?,
+            cause: get_u8(&f[1], "ErabFailedItem", "cause")?,
+        })
+    }
+
+    fn sample(seed: u64) -> Self {
+        ErabFailedItem {
+            erab_id: (seed % 16) as u8,
+            cause: (seed % 16) as u8,
+        }
+    }
+}
+
+/// UE aggregate maximum bit rate (downlink + uplink, bits/s).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UeAmbr {
+    /// Downlink AMBR.
+    pub downlink: u64,
+    /// Uplink AMBR.
+    pub uplink: u64,
+}
+
+impl Wire for UeAmbr {
+    fn schema() -> Arc<Schema> {
+        static SCHEMA: OnceLock<Arc<Schema>> = OnceLock::new();
+        SCHEMA
+            .get_or_init(|| {
+                Arc::new(
+                    StructSchema::builder("UeAmbr")
+                        .field("downlink", FieldType::UInt { bits: 64 })
+                        .field("uplink", FieldType::UInt { bits: 64 })
+                        .build(),
+                )
+            })
+            .clone()
+    }
+
+    fn to_value(&self) -> Value {
+        Value::Struct(vec![Value::U64(self.downlink), Value::U64(self.uplink)])
+    }
+
+    fn from_value(v: &Value) -> Result<Self> {
+        let f = fields(v, "UeAmbr", 2)?;
+        Ok(UeAmbr {
+            downlink: get_u64(&f[0], "UeAmbr", "downlink")?,
+            uplink: get_u64(&f[1], "UeAmbr", "uplink")?,
+        })
+    }
+
+    fn sample(_seed: u64) -> Self {
+        UeAmbr {
+            downlink: 1_000_000_000,
+            uplink: 500_000_000,
+        }
+    }
+}
+
+/// Helper: converts a slice of `Wire` items into a list value.
+pub fn list_to_value<T: Wire>(items: &[T]) -> Value {
+    Value::List(items.iter().map(Wire::to_value).collect())
+}
+
+/// Helper: parses a list value into `Wire` items.
+pub fn list_from_value<T: Wire>(v: &Value, msg: &str, field: &str) -> Result<Vec<T>> {
+    crate::wire::get_list(v, msg, field)?
+        .iter()
+        .map(T::from_value)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::testutil::round_trip_all_codecs;
+
+    #[test]
+    fn tai_round_trips() {
+        round_trip_all_codecs(&Tai::sample(7));
+    }
+
+    #[test]
+    fn cgi_round_trips() {
+        round_trip_all_codecs(&Cgi::sample(12345));
+    }
+
+    #[test]
+    fn erab_to_setup_round_trips_with_and_without_pdu() {
+        round_trip_all_codecs(&ErabToSetup::sample(2)); // even seed → pdu present
+        round_trip_all_codecs(&ErabToSetup::sample(3)); // odd seed → absent
+    }
+
+    #[test]
+    fn erab_setup_item_round_trips() {
+        round_trip_all_codecs(&ErabSetupItem::sample(99));
+    }
+
+    #[test]
+    fn erab_failed_item_round_trips() {
+        round_trip_all_codecs(&ErabFailedItem::sample(5));
+    }
+
+    #[test]
+    fn ue_ambr_round_trips() {
+        round_trip_all_codecs(&UeAmbr::sample(0));
+    }
+
+    #[test]
+    fn ue_identity_choice_values() {
+        let t = UeIdentity::STmsi(0xDEAD_BEEF);
+        let i = UeIdentity::Imsi("310410123456789".into());
+        assert_eq!(UeIdentity::from_value(&t.to_value()).unwrap(), t);
+        assert_eq!(UeIdentity::from_value(&i.to_value()).unwrap(), i);
+    }
+
+    #[test]
+    fn sample_values_validate() {
+        Tai::schema().validate(&Tai::sample(1).to_value()).unwrap();
+        Cgi::schema().validate(&Cgi::sample(1).to_value()).unwrap();
+        ErabToSetup::schema()
+            .validate(&ErabToSetup::sample(4).to_value())
+            .unwrap();
+    }
+}

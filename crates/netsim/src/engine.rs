@@ -1,0 +1,744 @@
+//! The discrete-event engine.
+//!
+//! Each node is a multi-core FIFO queueing server running a [`Node`] state
+//! machine. The engine pops time-ordered events; `Deliver` enqueues a
+//! message at its destination, `JobComplete` runs the node's handler at
+//! service completion (charging the declared service time), `Timer` runs
+//! zero-cost internal work, `Crash`/`Recover` inject failures.
+//!
+//! Determinism: the event queue orders by `(time, sequence)` where the
+//! sequence is assigned at scheduling time, so ties break identically on
+//! every run.
+
+use crate::links::Links;
+use crate::stats::NodeStats;
+use neutrino_common::time::{Duration, Instant};
+use std::any::Any;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::fmt;
+
+/// Identifies a node inside a simulation.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(u64);
+
+impl NodeId {
+    /// Sender id used for externally injected traffic.
+    pub const EXTERNAL: NodeId = NodeId(u64::MAX);
+
+    /// Wraps a raw id.
+    pub const fn new(raw: u64) -> Self {
+        NodeId(raw)
+    }
+
+    /// The raw id.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if *self == NodeId::EXTERNAL {
+            write!(f, "node-external")
+        } else {
+            write!(f, "node-{}", self.0)
+        }
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// What a node is asked to handle.
+#[derive(Debug)]
+pub enum NodeEvent<M> {
+    /// A message finished service (the node now reacts to it).
+    Message {
+        /// The sending node.
+        from: NodeId,
+        /// The message.
+        msg: M,
+    },
+    /// A timer set earlier fired.
+    Timer {
+        /// The id passed to [`Outbox::set_timer`].
+        id: u64,
+    },
+    /// The node just recovered from a crash (state was NOT preserved by the
+    /// engine; the node decides what recovery means).
+    Recovered,
+}
+
+/// The only way a node affects the world: messages out and timers.
+pub struct Outbox<M> {
+    now: Instant,
+    sends: Vec<(NodeId, M, Duration)>,
+    timers: Vec<(Duration, u64)>,
+}
+
+impl<M> Outbox<M> {
+    fn new(now: Instant) -> Self {
+        Outbox {
+            now,
+            sends: Vec::new(),
+            timers: Vec::new(),
+        }
+    }
+
+    /// The current virtual time.
+    pub fn now(&self) -> Instant {
+        self.now
+    }
+
+    /// Sends a message; it leaves the node immediately and arrives after the
+    /// link delay.
+    pub fn send(&mut self, to: NodeId, msg: M) {
+        self.sends.push((to, msg, Duration::ZERO));
+    }
+
+    /// Sends a message after an extra local delay (e.g. modeling work done
+    /// off the critical path).
+    pub fn send_after(&mut self, to: NodeId, msg: M, extra: Duration) {
+        self.sends.push((to, msg, extra));
+    }
+
+    /// Arms a timer that fires after `delay` with the given id.
+    pub fn set_timer(&mut self, delay: Duration, id: u64) {
+        self.timers.push((delay, id));
+    }
+}
+
+/// A protocol state machine living at one node.
+pub trait Node<M>: Any {
+    /// Service time charged for a message *before* [`Node::handle`] runs —
+    /// the CPU the node burns parsing, processing, and building responses.
+    /// Zero means the message is pure bookkeeping.
+    fn service_time(&self, msg: &M) -> Duration;
+
+    /// Reacts to an event. All effects go through the outbox.
+    fn handle(&mut self, event: NodeEvent<M>, out: &mut Outbox<M>);
+
+    /// Number of cores serving this node's queue.
+    fn cores(&self) -> usize {
+        1
+    }
+
+    /// Downcast support (retrieving results after a run).
+    fn as_any(&mut self) -> &mut dyn Any;
+}
+
+enum EventKind<M> {
+    Deliver { to: NodeId, from: NodeId, msg: M },
+    JobComplete { node: NodeId, epoch: u64, job: u64 },
+    Timer { node: NodeId, id: u64, epoch: u64 },
+    Crash { node: NodeId },
+    Recover { node: NodeId },
+}
+
+struct Event<M> {
+    at: Instant,
+    seq: u64,
+    kind: EventKind<M>,
+}
+
+impl<M> PartialEq for Event<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<M> Eq for Event<M> {}
+impl<M> PartialOrd for Event<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Event<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // BinaryHeap is a max-heap; invert for earliest-first.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+struct NodeEntry<M> {
+    node: Box<dyn Node<M>>,
+    queue: VecDeque<(NodeId, M, Instant)>,
+    busy_cores: usize,
+    /// In-flight jobs keyed by job id (multicore jobs finish out of order).
+    running: HashMap<u64, (NodeId, M)>,
+    up: bool,
+    epoch: u64,
+    stats: NodeStats,
+}
+
+/// Engine configuration.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Hard cap on processed events (guards against runaway loops).
+    pub max_events: u64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            max_events: 2_000_000_000,
+        }
+    }
+}
+
+/// The simulator.
+pub struct Sim<M> {
+    now: Instant,
+    seq: u64,
+    job_seq: u64,
+    link_seq: u64,
+    queue: BinaryHeap<Event<M>>,
+    nodes: HashMap<NodeId, NodeEntry<M>>,
+    links: Links,
+    config: SimConfig,
+    events_processed: u64,
+}
+
+impl<M: 'static> Sim<M> {
+    /// Creates a simulator over the given link table.
+    pub fn new(links: Links) -> Self {
+        Self::with_config(links, SimConfig::default())
+    }
+
+    /// Creates a simulator with explicit config.
+    pub fn with_config(links: Links, config: SimConfig) -> Self {
+        Sim {
+            now: Instant::ZERO,
+            seq: 0,
+            job_seq: 0,
+            link_seq: 0,
+            queue: BinaryHeap::new(),
+            nodes: HashMap::new(),
+            links,
+            config,
+            events_processed: 0,
+        }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> Instant {
+        self.now
+    }
+
+    /// Total events processed so far.
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// Registers a node. Panics on duplicate ids.
+    pub fn add_node(&mut self, id: NodeId, node: Box<dyn Node<M>>) {
+        let prev = self.nodes.insert(
+            id,
+            NodeEntry {
+                node,
+                queue: VecDeque::new(),
+                busy_cores: 0,
+                running: HashMap::new(),
+                up: true,
+                epoch: 0,
+                stats: NodeStats::default(),
+            },
+        );
+        assert!(prev.is_none(), "duplicate node id {id}");
+    }
+
+    /// Mutable access to the links table (topology changes mid-run).
+    pub fn links_mut(&mut self) -> &mut Links {
+        &mut self.links
+    }
+
+    fn push(&mut self, at: Instant, kind: EventKind<M>) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Event { at, seq, kind });
+    }
+
+    /// Injects a message from outside the simulated network, arriving at
+    /// `to` at absolute time `at` (no link delay applied).
+    pub fn inject_at(&mut self, at: Instant, to: NodeId, msg: M) {
+        self.push(
+            at,
+            EventKind::Deliver {
+                to,
+                from: NodeId::EXTERNAL,
+                msg,
+            },
+        );
+    }
+
+    /// Schedules a crash of `node` at `at`: its queue and in-flight work are
+    /// discarded and later arrivals are dropped until recovery.
+    pub fn crash_at(&mut self, at: Instant, node: NodeId) {
+        self.push(at, EventKind::Crash { node });
+    }
+
+    /// Schedules a recovery of `node` at `at`.
+    pub fn recover_at(&mut self, at: Instant, node: NodeId) {
+        self.push(at, EventKind::Recover { node });
+    }
+
+    /// Whether a node is currently up.
+    pub fn is_up(&self, node: NodeId) -> bool {
+        self.nodes.get(&node).map(|n| n.up).unwrap_or(false)
+    }
+
+    /// Statistics of a node.
+    pub fn stats(&self, node: NodeId) -> Option<&NodeStats> {
+        self.nodes.get(&node).map(|n| &n.stats)
+    }
+
+    /// Downcasts a node to retrieve results after (or during) a run.
+    pub fn node_as<T: 'static>(&mut self, id: NodeId) -> Option<&mut T> {
+        self.nodes.get_mut(&id)?.node.as_any().downcast_mut::<T>()
+    }
+
+    fn flush_outbox(&mut self, from: NodeId, out: Outbox<M>, epoch: u64) {
+        let now = out.now;
+        for (to, msg, extra) in out.sends {
+            let delay = self.links.sample_delay(from, to, self.link_seq);
+            self.link_seq += 1;
+            self.push(now + extra + delay, EventKind::Deliver { to, from, msg });
+        }
+        for (delay, id) in out.timers {
+            self.push(
+                now + delay,
+                EventKind::Timer {
+                    node: from,
+                    id,
+                    epoch,
+                },
+            );
+        }
+    }
+
+    fn try_start_jobs(&mut self, id: NodeId) {
+        loop {
+            let entry = match self.nodes.get_mut(&id) {
+                Some(e) => e,
+                None => return,
+            };
+            if !entry.up || entry.busy_cores >= entry.node.cores() || entry.queue.is_empty() {
+                return;
+            }
+            let (from, msg, enq) = entry.queue.pop_front().expect("non-empty");
+            let st = entry.node.service_time(&msg);
+            entry.busy_cores += 1;
+            entry.stats.total_wait += self.now.saturating_since(enq);
+            entry.stats.busy += st;
+            let job = self.job_seq;
+            self.job_seq += 1;
+            entry.running.insert(job, (from, msg));
+            let epoch = entry.epoch;
+            let at = self.now + st;
+            self.push(
+                at,
+                EventKind::JobComplete {
+                    node: id,
+                    epoch,
+                    job,
+                },
+            );
+        }
+    }
+
+    /// Runs until the event queue drains or `deadline` passes. Returns the
+    /// time of the last processed event.
+    pub fn run_until(&mut self, deadline: Instant) -> Instant {
+        while let Some(ev) = self.queue.peek() {
+            if ev.at > deadline {
+                break;
+            }
+            let ev = self.queue.pop().expect("peeked");
+            self.events_processed += 1;
+            assert!(
+                self.events_processed <= self.config.max_events,
+                "event budget exceeded — runaway simulation?"
+            );
+            debug_assert!(ev.at >= self.now, "time went backwards");
+            self.now = ev.at;
+            match ev.kind {
+                EventKind::Deliver { to, from, msg } => {
+                    let entry = match self.nodes.get_mut(&to) {
+                        Some(e) => e,
+                        None => continue, // unknown destination: dropped
+                    };
+                    if !entry.up {
+                        entry.stats.dropped_down += 1;
+                        continue;
+                    }
+                    entry.queue.push_back((from, msg, self.now));
+                    let depth = entry.queue.len();
+                    if depth > entry.stats.max_queue_depth {
+                        entry.stats.max_queue_depth = depth;
+                    }
+                    self.try_start_jobs(to);
+                }
+                EventKind::JobComplete { node, epoch, job } => {
+                    let entry = match self.nodes.get_mut(&node) {
+                        Some(e) => e,
+                        None => continue,
+                    };
+                    if entry.epoch != epoch || !entry.up {
+                        continue; // stale: node crashed since this job began
+                    }
+                    let (from, msg) = entry.running.remove(&job).expect("job was running");
+                    entry.busy_cores -= 1;
+                    entry.stats.processed += 1;
+                    let mut out = Outbox::new(self.now);
+                    entry
+                        .node
+                        .handle(NodeEvent::Message { from, msg }, &mut out);
+                    let epoch = entry.epoch;
+                    self.flush_outbox(node, out, epoch);
+                    self.try_start_jobs(node);
+                }
+                EventKind::Timer { node, id, epoch } => {
+                    let entry = match self.nodes.get_mut(&node) {
+                        Some(e) => e,
+                        None => continue,
+                    };
+                    if entry.epoch != epoch || !entry.up {
+                        continue;
+                    }
+                    entry.stats.timers += 1;
+                    let mut out = Outbox::new(self.now);
+                    entry.node.handle(NodeEvent::Timer { id }, &mut out);
+                    let epoch = entry.epoch;
+                    self.flush_outbox(node, out, epoch);
+                    self.try_start_jobs(node);
+                }
+                EventKind::Crash { node } => {
+                    if let Some(entry) = self.nodes.get_mut(&node) {
+                        entry.up = false;
+                        entry.epoch += 1;
+                        entry.stats.dropped_crash +=
+                            (entry.queue.len() + entry.running.len()) as u64;
+                        entry.queue.clear();
+                        entry.running.clear();
+                        entry.busy_cores = 0;
+                    }
+                }
+                EventKind::Recover { node } => {
+                    if let Some(entry) = self.nodes.get_mut(&node) {
+                        if !entry.up {
+                            entry.up = true;
+                            entry.epoch += 1;
+                            let mut out = Outbox::new(self.now);
+                            entry.node.handle(NodeEvent::Recovered, &mut out);
+                            let epoch = entry.epoch;
+                            self.flush_outbox(node, out, epoch);
+                        }
+                    }
+                }
+            }
+        }
+        self.now
+    }
+
+    /// Runs until the queue is fully drained.
+    pub fn run_to_completion(&mut self) -> Instant {
+        self.run_until(Instant::FAR_FUTURE)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::links::LinkSpec;
+
+    /// Echoes every message back to its sender after a fixed service time.
+    struct Echo {
+        service: Duration,
+        seen: Vec<u64>,
+    }
+
+    impl Node<u64> for Echo {
+        fn service_time(&self, _msg: &u64) -> Duration {
+            self.service
+        }
+        fn handle(&mut self, event: NodeEvent<u64>, out: &mut Outbox<u64>) {
+            if let NodeEvent::Message { from, msg } = event {
+                self.seen.push(msg);
+                if from != NodeId::EXTERNAL {
+                    out.send(from, msg + 1000);
+                }
+            }
+        }
+        fn as_any(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    fn two_node_sim(service: Duration, latency: Duration) -> (Sim<u64>, NodeId, NodeId) {
+        let links = Links::with_default(LinkSpec::fixed(latency));
+        let mut sim = Sim::new(links);
+        let a = NodeId::new(1);
+        let b = NodeId::new(2);
+        sim.add_node(
+            a,
+            Box::new(Kicker {
+                peer: b,
+                count: 3,
+                replies: Vec::new(),
+            }),
+        );
+        sim.add_node(
+            b,
+            Box::new(Echo {
+                service,
+                seen: Vec::new(),
+            }),
+        );
+        (sim, a, b)
+    }
+
+    /// Replies to an external kick by pinging its peer `count` times.
+    struct Kicker {
+        peer: NodeId,
+        count: u64,
+        replies: Vec<(u64, Instant)>,
+    }
+
+    impl Node<u64> for Kicker {
+        fn service_time(&self, _msg: &u64) -> Duration {
+            Duration::ZERO
+        }
+        fn handle(&mut self, event: NodeEvent<u64>, out: &mut Outbox<u64>) {
+            if let NodeEvent::Message { from, msg } = event {
+                if from == NodeId::EXTERNAL {
+                    for i in 0..self.count {
+                        out.send(self.peer, i);
+                    }
+                } else {
+                    self.replies.push((msg, out.now()));
+                }
+            }
+        }
+        fn as_any(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    #[test]
+    fn request_response_round_trip_timing() {
+        let links = Links::with_default(LinkSpec::fixed(Duration::from_micros(50)));
+        let mut sim = Sim::new(links);
+        let a = NodeId::new(1);
+        let b = NodeId::new(2);
+        sim.add_node(
+            a,
+            Box::new(Kicker {
+                peer: b,
+                count: 1,
+                replies: Vec::new(),
+            }),
+        );
+        sim.add_node(
+            b,
+            Box::new(Echo {
+                service: Duration::from_micros(10),
+                seen: Vec::new(),
+            }),
+        );
+        sim.inject_at(Instant::ZERO, a, 0);
+        sim.run_to_completion();
+        let kicker = sim.node_as::<Kicker>(a).unwrap();
+        // 50µs there + 10µs service + 50µs back = 110µs.
+        assert_eq!(kicker.replies, vec![(1000, Instant::from_micros(110))]);
+    }
+
+    #[test]
+    fn fifo_single_core_queueing() {
+        // 3 simultaneous messages, 10µs service: completions at 10/20/30µs.
+        let links = Links::with_default(LinkSpec::fixed(Duration::ZERO));
+        let mut sim = Sim::new(links);
+        let b = NodeId::new(2);
+        sim.add_node(
+            b,
+            Box::new(Echo {
+                service: Duration::from_micros(10),
+                seen: Vec::new(),
+            }),
+        );
+        for i in 0..3 {
+            sim.inject_at(Instant::ZERO, b, i);
+        }
+        let end = sim.run_to_completion();
+        assert_eq!(end, Instant::from_micros(30));
+        let stats = sim.stats(b).unwrap();
+        assert_eq!(stats.processed, 3);
+        // Waits: 0 + 10 + 20 = 30µs.
+        assert_eq!(stats.total_wait, Duration::from_micros(30));
+        // msg0 starts service on arrival, so only msg1+msg2 ever queue.
+        assert_eq!(stats.max_queue_depth, 2);
+        let echo = sim.node_as::<Echo>(b).unwrap();
+        assert_eq!(echo.seen, vec![0, 1, 2], "FIFO order preserved");
+    }
+
+    /// Echo with two cores.
+    struct Echo2(Echo);
+    impl Node<u64> for Echo2 {
+        fn service_time(&self, msg: &u64) -> Duration {
+            self.0.service_time(msg)
+        }
+        fn handle(&mut self, event: NodeEvent<u64>, out: &mut Outbox<u64>) {
+            self.0.handle(event, out)
+        }
+        fn cores(&self) -> usize {
+            2
+        }
+        fn as_any(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    #[test]
+    fn multicore_halves_completion_time() {
+        let links = Links::with_default(LinkSpec::fixed(Duration::ZERO));
+        let mut sim = Sim::new(links);
+        let b = NodeId::new(2);
+        sim.add_node(
+            b,
+            Box::new(Echo2(Echo {
+                service: Duration::from_micros(10),
+                seen: Vec::new(),
+            })),
+        );
+        for i in 0..4 {
+            sim.inject_at(Instant::ZERO, b, i);
+        }
+        let end = sim.run_to_completion();
+        assert_eq!(end, Instant::from_micros(20), "4 jobs on 2 cores at 10µs");
+    }
+
+    #[test]
+    fn crash_drops_queue_and_in_flight_work() {
+        let links = Links::with_default(LinkSpec::fixed(Duration::ZERO));
+        let mut sim = Sim::new(links);
+        let b = NodeId::new(2);
+        sim.add_node(
+            b,
+            Box::new(Echo {
+                service: Duration::from_micros(100),
+                seen: Vec::new(),
+            }),
+        );
+        for i in 0..5 {
+            sim.inject_at(Instant::ZERO, b, i);
+        }
+        // Crash mid-service of the first job.
+        sim.crash_at(Instant::from_micros(50), b);
+        // A message arriving while down is dropped.
+        sim.inject_at(Instant::from_micros(60), b, 100);
+        sim.run_to_completion();
+        let stats = sim.stats(b).unwrap();
+        assert_eq!(stats.processed, 0, "nothing completed before the crash");
+        assert_eq!(stats.dropped_crash, 5);
+        assert_eq!(stats.dropped_down, 1);
+    }
+
+    #[test]
+    fn recovery_resumes_processing() {
+        let links = Links::with_default(LinkSpec::fixed(Duration::ZERO));
+        let mut sim = Sim::new(links);
+        let b = NodeId::new(2);
+        sim.add_node(
+            b,
+            Box::new(Echo {
+                service: Duration::from_micros(10),
+                seen: Vec::new(),
+            }),
+        );
+        sim.crash_at(Instant::ZERO, b);
+        sim.recover_at(Instant::from_micros(100), b);
+        sim.inject_at(Instant::from_micros(50), b, 1); // dropped (down)
+        sim.inject_at(Instant::from_micros(150), b, 2); // processed
+        sim.run_to_completion();
+        let stats = sim.stats(b).unwrap();
+        assert_eq!(stats.dropped_down, 1);
+        assert_eq!(stats.processed, 1);
+        assert!(sim.is_up(b));
+    }
+
+    #[test]
+    fn link_latency_delays_delivery() {
+        let (mut sim, a, _b) = two_node_sim(Duration::ZERO, Duration::from_millis(1));
+        sim.inject_at(Instant::ZERO, a, 0);
+        sim.run_to_completion();
+        // 3 pings: out at t=0, arrive 1ms, replies arrive 2ms.
+        assert_eq!(sim.now(), Instant::from_millis(2));
+        let kicker = sim.node_as::<Kicker>(a).unwrap();
+        assert_eq!(kicker.replies.len(), 3);
+    }
+
+    #[test]
+    fn determinism_same_seed_same_trace() {
+        let run = || {
+            let (mut sim, _a, b) =
+                two_node_sim(Duration::from_micros(13), Duration::from_micros(97));
+            for i in 0..50 {
+                sim.inject_at(Instant::from_micros(i * 7), b, i);
+            }
+            sim.run_to_completion();
+            (
+                sim.now(),
+                sim.events_processed(),
+                sim.stats(b).unwrap().total_wait,
+            )
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate node id")]
+    fn duplicate_node_panics() {
+        let links = Links::with_default(LinkSpec::fixed(Duration::ZERO));
+        let mut sim: Sim<u64> = Sim::new(links);
+        sim.add_node(
+            NodeId::new(1),
+            Box::new(Echo {
+                service: Duration::ZERO,
+                seen: Vec::new(),
+            }),
+        );
+        sim.add_node(
+            NodeId::new(1),
+            Box::new(Echo {
+                service: Duration::ZERO,
+                seen: Vec::new(),
+            }),
+        );
+    }
+
+    #[test]
+    fn run_until_stops_at_deadline() {
+        let links = Links::with_default(LinkSpec::fixed(Duration::ZERO));
+        let mut sim = Sim::new(links);
+        let b = NodeId::new(2);
+        sim.add_node(
+            b,
+            Box::new(Echo {
+                service: Duration::from_micros(10),
+                seen: Vec::new(),
+            }),
+        );
+        for i in 0..10 {
+            sim.inject_at(Instant::from_micros(i * 100), b, i);
+        }
+        sim.run_until(Instant::from_micros(450));
+        let stats = sim.stats(b).unwrap();
+        assert_eq!(stats.processed, 5);
+        sim.run_to_completion();
+        assert_eq!(sim.stats(b).unwrap().processed, 10);
+    }
+}

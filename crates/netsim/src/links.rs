@@ -1,0 +1,143 @@
+//! Point-to-point link model.
+
+use crate::engine::NodeId;
+use neutrino_common::time::Duration;
+use std::collections::HashMap;
+
+/// Propagation characteristics of one directed link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinkSpec {
+    /// Base one-way propagation delay.
+    pub latency: Duration,
+    /// Maximum additional deterministic jitter (uniform in `0..=jitter`).
+    pub jitter: Duration,
+}
+
+impl LinkSpec {
+    /// A link with fixed latency and no jitter.
+    pub const fn fixed(latency: Duration) -> Self {
+        LinkSpec {
+            latency,
+            jitter: Duration::ZERO,
+        }
+    }
+}
+
+/// The link table: explicit per-pair entries over a default.
+#[derive(Debug, Clone)]
+pub struct Links {
+    default: LinkSpec,
+    // Directed overrides; lookups fall back to the default.
+    overrides: HashMap<(NodeId, NodeId), LinkSpec>,
+}
+
+impl Links {
+    /// All pairs use `default` unless overridden.
+    pub fn with_default(default: LinkSpec) -> Self {
+        Links {
+            default,
+            overrides: HashMap::new(),
+        }
+    }
+
+    /// Sets a directed override.
+    pub fn set(&mut self, from: NodeId, to: NodeId, spec: LinkSpec) {
+        self.overrides.insert((from, to), spec);
+    }
+
+    /// Sets a symmetric override.
+    pub fn set_symmetric(&mut self, a: NodeId, b: NodeId, spec: LinkSpec) {
+        self.overrides.insert((a, b), spec);
+        self.overrides.insert((b, a), spec);
+    }
+
+    /// The spec for a directed pair.
+    pub fn get(&self, from: NodeId, to: NodeId) -> LinkSpec {
+        self.overrides
+            .get(&(from, to))
+            .copied()
+            .unwrap_or(self.default)
+    }
+
+    /// Samples the delay of one transmission, with deterministic jitter
+    /// derived from `(from, to, sequence)` so traces replay identically.
+    pub fn sample_delay(&self, from: NodeId, to: NodeId, sequence: u64) -> Duration {
+        let spec = self.get(from, to);
+        if spec.jitter == Duration::ZERO {
+            return spec.latency;
+        }
+        // splitmix64 over the tuple: stateless deterministic jitter.
+        let mut x = from.raw() ^ to.raw().rotate_left(21) ^ sequence.rotate_left(42);
+        x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        x ^= x >> 31;
+        let j = x % (spec.jitter.as_nanos() + 1);
+        spec.latency + Duration::from_nanos(j)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_and_overrides() {
+        let mut links = Links::with_default(LinkSpec::fixed(Duration::from_micros(50)));
+        let a = NodeId::new(1);
+        let b = NodeId::new(2);
+        assert_eq!(links.get(a, b).latency, Duration::from_micros(50));
+        links.set(a, b, LinkSpec::fixed(Duration::from_millis(2)));
+        assert_eq!(links.get(a, b).latency, Duration::from_millis(2));
+        // Directed: reverse still default.
+        assert_eq!(links.get(b, a).latency, Duration::from_micros(50));
+    }
+
+    #[test]
+    fn symmetric_override() {
+        let mut links = Links::with_default(LinkSpec::fixed(Duration::ZERO));
+        let a = NodeId::new(1);
+        let b = NodeId::new(2);
+        links.set_symmetric(a, b, LinkSpec::fixed(Duration::from_millis(1)));
+        assert_eq!(links.get(a, b), links.get(b, a));
+    }
+
+    #[test]
+    fn jitter_is_deterministic_and_bounded() {
+        let mut links = Links::with_default(LinkSpec {
+            latency: Duration::from_micros(100),
+            jitter: Duration::from_micros(20),
+        });
+        links.set(
+            NodeId::new(3),
+            NodeId::new(4),
+            LinkSpec {
+                latency: Duration::from_micros(100),
+                jitter: Duration::from_micros(20),
+            },
+        );
+        let a = NodeId::new(3);
+        let b = NodeId::new(4);
+        let mut distinct = std::collections::HashSet::new();
+        for seq in 0..100 {
+            let d1 = links.sample_delay(a, b, seq);
+            let d2 = links.sample_delay(a, b, seq);
+            assert_eq!(d1, d2, "same sequence must give same jitter");
+            assert!(d1 >= Duration::from_micros(100));
+            assert!(d1 <= Duration::from_micros(120));
+            distinct.insert(d1.as_nanos());
+        }
+        assert!(distinct.len() > 10, "jitter should actually vary");
+    }
+
+    #[test]
+    fn zero_jitter_is_exact() {
+        let links = Links::with_default(LinkSpec::fixed(Duration::from_micros(7)));
+        for seq in 0..10 {
+            assert_eq!(
+                links.sample_delay(NodeId::new(1), NodeId::new(2), seq),
+                Duration::from_micros(7)
+            );
+        }
+    }
+}

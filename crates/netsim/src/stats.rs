@@ -1,0 +1,76 @@
+//! Per-node service statistics.
+
+use neutrino_common::time::Duration;
+use serde::{Deserialize, Serialize};
+
+/// Counters the engine maintains for every node.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct NodeStats {
+    /// Messages fully serviced.
+    pub processed: u64,
+    /// Messages dropped because the node was down.
+    pub dropped_down: u64,
+    /// Messages discarded from the queue by a crash.
+    pub dropped_crash: u64,
+    /// Total time messages spent waiting in the queue (not being serviced).
+    pub total_wait: Duration,
+    /// Total busy time across all cores.
+    pub busy: Duration,
+    /// Largest queue depth observed.
+    pub max_queue_depth: usize,
+    /// Timers fired.
+    pub timers: u64,
+}
+
+impl NodeStats {
+    /// Mean queueing delay per processed message.
+    pub fn mean_wait(&self) -> Duration {
+        self.total_wait
+            .as_nanos()
+            .checked_div(self.processed)
+            .map(Duration::from_nanos)
+            .unwrap_or(Duration::ZERO)
+    }
+
+    /// Utilization of one core over `elapsed` (can exceed 1.0 for multicore
+    /// nodes; divide by core count for per-core utilization).
+    pub fn utilization(&self, elapsed: Duration) -> f64 {
+        if elapsed == Duration::ZERO {
+            0.0
+        } else {
+            self.busy.as_secs_f64() / elapsed.as_secs_f64()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_wait_handles_empty() {
+        let s = NodeStats::default();
+        assert_eq!(s.mean_wait(), Duration::ZERO);
+    }
+
+    #[test]
+    fn mean_wait_divides() {
+        let s = NodeStats {
+            processed: 4,
+            total_wait: Duration::from_micros(40),
+            ..NodeStats::default()
+        };
+        assert_eq!(s.mean_wait(), Duration::from_micros(10));
+    }
+
+    #[test]
+    fn utilization_ratio() {
+        let s = NodeStats {
+            busy: Duration::from_millis(500),
+            ..NodeStats::default()
+        };
+        let u = s.utilization(Duration::from_secs(1));
+        assert!((u - 0.5).abs() < 1e-9);
+        assert_eq!(s.utilization(Duration::ZERO), 0.0);
+    }
+}

@@ -1,0 +1,340 @@
+//! Builds a complete simulated deployment from a [`SystemConfig`].
+
+use crate::config::{SystemConfig, SystemKind};
+use crate::simnode::{cpf_node, cta_node, upf_node, CpfNode, CtaNode, UpfNode, UEPOP_NODE};
+use crate::uepop::{RegionRoute, UePopConfig, UePopResults, UePopulation, Workload};
+use neutrino_common::time::{Duration, Instant};
+use neutrino_common::CpfId;
+use neutrino_cpf::{CpfConfig, CpfCore, CpfMetrics};
+use neutrino_cta::{CtaConfig, CtaCore, CtaMetrics};
+use neutrino_geo::{Deployment, RegionLayout};
+use neutrino_messages::SysMsg;
+use neutrino_netsim::{LinkSpec, Links, Sim};
+use neutrino_upf::UpfCore;
+
+/// The simulator's message type: protocol traffic plus the bootstrap kick
+/// for the UE population's arrival loop.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimMsg {
+    /// Protocol traffic.
+    Sys(SysMsg),
+    /// Bootstraps the arrival pump.
+    Kick,
+}
+
+/// Link latencies of the edge deployment.
+#[derive(Debug, Clone, Copy)]
+pub struct LinkProfile {
+    /// Same-region hops (BS↔CTA, CTA↔CPF, CPF↔UPF): the paper's testbed is
+    /// two servers on 40 GbE with DPDK kernel-bypass I/O — single-digit
+    /// microseconds one way.
+    pub intra_region: Duration,
+    /// Cross-region hops (CPF ↔ level-2 replica CPFs): different edge sites.
+    pub inter_region: Duration,
+}
+
+impl Default for LinkProfile {
+    fn default() -> Self {
+        LinkProfile {
+            intra_region: Duration::from_micros(5),
+            inter_region: Duration::from_micros(500),
+        }
+    }
+}
+
+/// A built simulation plus its id maps.
+pub struct Cluster {
+    /// The simulator.
+    pub sim: Sim<SimMsg>,
+    /// The deployment it models.
+    pub deployment: Deployment,
+    config: SystemConfig,
+}
+
+impl Cluster {
+    /// Builds a cluster: per level-1 region one CTA, a CPF pool, UPFs; one
+    /// UE-population node emulating all UEs and base stations.
+    pub fn build(
+        config: SystemConfig,
+        mut layout: RegionLayout,
+        workload: Workload,
+        mut uecfg: UePopConfig,
+        links_profile: LinkProfile,
+    ) -> Cluster {
+        layout.replicas = config.replicas;
+        let deployment = Deployment::build(layout);
+
+        // Links: intra-region by default, cross-region overridden.
+        let mut links = Links::with_default(LinkSpec::fixed(links_profile.intra_region));
+        let inter = LinkSpec::fixed(links_profile.inter_region);
+        for a in deployment.regions() {
+            for b in deployment.regions() {
+                if a.id == b.id {
+                    continue;
+                }
+                for &ca in &a.cpfs {
+                    for &cb in &b.cpfs {
+                        links.set(cpf_node(ca), cpf_node(cb), inter);
+                    }
+                    links.set_symmetric(cta_node(b.cta), cpf_node(ca), inter);
+                }
+            }
+        }
+        let mut sim = Sim::new(links);
+
+        // UE population. All workload traffic enters through region 0's CTA
+        // and CPF pool — the paper's testbed drives one pool of five CPF
+        // instances (§5); sibling regions host the level-2 backup replicas
+        // and handover targets.
+        uecfg.codec = config.codec;
+        // Route 0 (region 0) carries all traffic — the paper's testbed
+        // shape; the rest are fallbacks for CTA-failure recovery
+        // (§4.2.5 scenario 4).
+        uecfg.routes = deployment
+            .regions()
+            .iter()
+            .map(|r| RegionRoute {
+                cta: r.cta,
+                bss: r.bss.clone(),
+            })
+            .collect();
+        sim.add_node(UEPOP_NODE, Box::new(UePopulation::new(uecfg, workload)));
+
+        // Per-region control plane.
+        for region in deployment.regions() {
+            let ring = deployment
+                .ring_stack(region.id)
+                .expect("regions have rings");
+            let cta_cfg = CtaConfig {
+                id: region.cta,
+                logging: config.logging,
+                failover: config.failover,
+                ack_timeout: Duration::from_secs(30),
+                codec: config.codec,
+            };
+            sim.add_node(
+                cta_node(region.cta),
+                Box::new(CtaNode::new(
+                    CtaCore::new(cta_cfg, ring.clone()),
+                    config.cpu,
+                    config.logging,
+                    Duration::from_secs(5),
+                )),
+            );
+            let remote_peers: Vec<_> = deployment
+                .level2_siblings(region.id)
+                .into_iter()
+                .filter_map(|r| deployment.region(r))
+                .flat_map(|r| r.cpfs.clone())
+                .collect();
+            for &cpf in &region.cpfs {
+                let cpf_cfg = CpfConfig {
+                    id: cpf,
+                    replication: config.replication,
+                    ring: if config.kind == SystemKind::Neutrino {
+                        Some(ring.clone())
+                    } else {
+                        None
+                    },
+                    peers: region.cpfs.clone(),
+                    remote_peers: remote_peers.clone(),
+                    upfs: region.upfs.clone(),
+                    enforce_consistency: config.enforce_consistency,
+                    home_cta: region.cta,
+                    parallel_upf: config.parallel_upf,
+                };
+                sim.add_node(
+                    cpf_node(cpf),
+                    Box::new(CpfNode::new(CpfCore::new(cpf_cfg), config.clone())),
+                );
+            }
+            for &upf in &region.upfs {
+                sim.add_node(
+                    upf_node(upf),
+                    Box::new(UpfNode::new(UpfCore::with_cta(upf, region.cta), config.cpu)),
+                );
+            }
+        }
+
+        // Bootstrap the arrival pump.
+        sim.inject_at(Instant::ZERO, UEPOP_NODE, SimMsg::Kick);
+
+        Cluster {
+            sim,
+            deployment,
+            config,
+        }
+    }
+
+    /// The system configuration this cluster runs.
+    pub fn config(&self) -> &SystemConfig {
+        &self.config
+    }
+
+    /// Crashes a CTA at `at` (failure scenario 4: its UEs re-attach through
+    /// another region's CTA after their retries run out — no notice is
+    /// delivered anywhere, because "we do not backup CTA state", §4.2.5).
+    pub fn fail_cta_at(&mut self, at: Instant, region_index: usize) {
+        let cta = self.deployment.regions()[region_index].cta;
+        self.sim.crash_at(at, cta_node(cta));
+    }
+
+    /// Crashes a CPF at `at` and delivers the failure notice to every CTA
+    /// right after (failure *detection* time is excluded from PCT, §6.4).
+    pub fn fail_cpf_at(&mut self, at: Instant, cpf: CpfId) {
+        self.sim.crash_at(at, cpf_node(cpf));
+        let notice_at = at + Duration::from_micros(1);
+        let ctas: Vec<_> = self.deployment.regions().iter().map(|r| r.cta).collect();
+        for cta in ctas {
+            self.sim.inject_at(
+                notice_at,
+                cta_node(cta),
+                SimMsg::Sys(SysMsg::CpfFailure { cpf }),
+            );
+        }
+    }
+
+    /// Injects downlink user data for `ue` arriving at its region's first
+    /// UPF at `at` (the §3.1 reachability experiments).
+    pub fn inject_downlink_data_at(&mut self, at: Instant, ue: neutrino_common::UeId) {
+        let upf = self.deployment.regions()[0].upfs
+            [ue.raw() as usize % self.deployment.regions()[0].upfs.len().max(1)];
+        self.sim
+            .inject_at(at, upf_node(upf), SimMsg::Sys(SysMsg::DownlinkData { ue }));
+    }
+
+    /// Marks a UE's session idle at its UPF (emulates the S1 inactivity
+    /// release, which our procedure set does not model as messages).
+    pub fn release_ue_to_idle(&mut self, ue: neutrino_common::UeId) {
+        let upfs: Vec<_> = self
+            .deployment
+            .regions()
+            .iter()
+            .flat_map(|r| r.upfs.clone())
+            .collect();
+        for upf in upfs {
+            if let Some(node) = self.sim.node_as::<UpfNode>(upf_node(upf)) {
+                node.core_mut().table_mut().release(ue);
+            }
+        }
+    }
+
+    /// Downlink delivery log across all UPFs: `(time, ue, delivered)`.
+    pub fn downlink_log(&mut self) -> Vec<(Instant, neutrino_common::UeId, bool)> {
+        let upfs: Vec<_> = self
+            .deployment
+            .regions()
+            .iter()
+            .flat_map(|r| r.upfs.clone())
+            .collect();
+        let mut out = Vec::new();
+        for upf in upfs {
+            if let Some(node) = self.sim.node_as::<UpfNode>(upf_node(upf)) {
+                out.extend_from_slice(node.downlink_log());
+            }
+        }
+        out.sort();
+        out
+    }
+
+    /// Runs until `deadline` (virtual time).
+    pub fn run_until(&mut self, deadline: Instant) {
+        self.sim.run_until(deadline);
+    }
+
+    /// Runs until the event queue drains.
+    pub fn run_to_completion(&mut self) {
+        self.sim.run_to_completion();
+    }
+
+    /// Extracts the UE population's results.
+    pub fn take_results(&mut self) -> UePopResults {
+        self.sim
+            .node_as::<UePopulation>(UEPOP_NODE)
+            .expect("population exists")
+            .take_results()
+    }
+
+    /// Peak CTA log footprint across all regions (Fig. 17).
+    pub fn max_log_bytes(&mut self) -> usize {
+        let ctas: Vec<_> = self.deployment.regions().iter().map(|r| r.cta).collect();
+        let mut total = 0;
+        for cta in ctas {
+            if let Some(node) = self.sim.node_as::<CtaNode>(cta_node(cta)) {
+                total += node.core().max_log_bytes();
+            }
+        }
+        total
+    }
+
+    /// The CPF currently serving a UE, according to region 0's CTA (the
+    /// entry point for all workload traffic).
+    pub fn serving_cpf(&mut self, ue: neutrino_common::UeId) -> Option<CpfId> {
+        let cta = self.deployment.regions()[0].cta;
+        self.sim
+            .node_as::<CtaNode>(cta_node(cta))?
+            .core_mut()
+            .primary_for(ue)
+    }
+
+    /// The state version the UE's serving CPF holds (consistency checks).
+    pub fn ue_state_version(
+        &mut self,
+        ue: neutrino_common::UeId,
+    ) -> Option<neutrino_messages::state::StateVersion> {
+        let cpf = self.serving_cpf(ue)?;
+        let node = self.sim.node_as::<CpfNode>(cpf_node(cpf))?;
+        node.core().store().get(ue).map(|r| r.state.version)
+    }
+
+    /// Whether the UE's serving CPF may serve it right now (fresh state).
+    pub fn ue_servable(&mut self, ue: neutrino_common::UeId) -> bool {
+        match self.serving_cpf(ue) {
+            Some(cpf) => self
+                .sim
+                .node_as::<CpfNode>(cpf_node(cpf))
+                .map(|n| n.core().store().servable(ue))
+                .unwrap_or(false),
+            None => false,
+        }
+    }
+
+    /// Aggregated CTA metrics.
+    pub fn cta_metrics(&mut self) -> CtaMetrics {
+        let ctas: Vec<_> = self.deployment.regions().iter().map(|r| r.cta).collect();
+        let mut agg = CtaMetrics::default();
+        for cta in ctas {
+            if let Some(node) = self.sim.node_as::<CtaNode>(cta_node(cta)) {
+                let m = node.core().metrics();
+                agg.forwarded_uplink += m.forwarded_uplink;
+                agg.forwarded_downlink += m.forwarded_downlink;
+                agg.failover_up_to_date += m.failover_up_to_date;
+                agg.failover_replayed += m.failover_replayed;
+                agg.failover_re_attach += m.failover_re_attach;
+                agg.outdated_notices += m.outdated_notices;
+                agg.timeout_pruned += m.timeout_pruned;
+            }
+        }
+        agg
+    }
+
+    /// Aggregated CPF metrics.
+    pub fn cpf_metrics(&mut self) -> CpfMetrics {
+        let cpfs = self.deployment.all_cpfs();
+        let mut agg = CpfMetrics::default();
+        for cpf in cpfs {
+            if let Some(node) = self.sim.node_as::<CpfNode>(cpf_node(cpf)) {
+                let m = node.core().metrics();
+                agg.processed += m.processed;
+                agg.replayed += m.replayed;
+                agg.completed += m.completed;
+                agg.syncs_sent += m.syncs_sent;
+                agg.syncs_applied += m.syncs_applied;
+                agg.syncs_ignored += m.syncs_ignored;
+                agg.re_attach_asked += m.re_attach_asked;
+                agg.migrations += m.migrations;
+            }
+        }
+        agg
+    }
+}

@@ -1,0 +1,145 @@
+//! One-call experiment runner.
+
+use crate::cluster::{Cluster, LinkProfile};
+use crate::config::{HandoverPolicy, SystemConfig};
+use crate::uepop::{Arrival, ProcedureWindow, UePopConfig, Workload};
+use neutrino_common::stats::{Percentiles, Summary};
+use neutrino_common::time::{Duration, Instant};
+use neutrino_common::CpfId;
+use neutrino_cpf::CpfMetrics;
+use neutrino_cta::CtaMetrics;
+use neutrino_geo::RegionLayout;
+use neutrino_messages::procedures::ProcedureKind;
+use std::collections::HashMap;
+
+/// A CPF failure injection.
+#[derive(Debug, Clone, Copy)]
+pub struct FailureSpec {
+    /// When the CPF crashes.
+    pub at: Instant,
+    /// Which CPF.
+    pub cpf: CpfId,
+}
+
+/// Everything one experiment run needs.
+pub struct ExperimentSpec {
+    /// The system under test.
+    pub config: SystemConfig,
+    /// Deployment shape.
+    pub layout: RegionLayout,
+    /// The control workload.
+    pub workload: Workload,
+    /// Virtual-time horizon: the run executes until the workload drains or
+    /// this deadline, whichever is later... (the queue empties naturally).
+    pub horizon: Duration,
+    /// Failure injections.
+    pub failures: Vec<FailureSpec>,
+    /// UE-population tuning (PCT sampling, probe UEs, retry policy).
+    pub uecfg: UePopConfig,
+    /// Link latencies.
+    pub links: LinkProfile,
+}
+
+impl ExperimentSpec {
+    /// A spec with defaults for everything but the system and workload.
+    pub fn new(config: SystemConfig, workload: Workload) -> Self {
+        ExperimentSpec {
+            config,
+            layout: RegionLayout::default(),
+            workload,
+            horizon: Duration::from_secs(120),
+            failures: Vec::new(),
+            uecfg: UePopConfig::default(),
+            links: LinkProfile::default(),
+        }
+    }
+}
+
+/// Results of one run.
+#[derive(Debug)]
+pub struct RunResults {
+    /// PCT distributions (milliseconds) per executed procedure kind.
+    pub pct: HashMap<ProcedureKind, Percentiles>,
+    /// Probe-UE interruption windows.
+    pub windows: Vec<ProcedureWindow>,
+    /// Procedures started / completed.
+    pub started: u64,
+    /// Critical paths completed.
+    pub completed: u64,
+    /// Re-attaches performed.
+    pub re_attached: u64,
+    /// Peak total CTA log bytes (Fig. 17).
+    pub max_log_bytes: usize,
+    /// Aggregated CTA counters.
+    pub cta: CtaMetrics,
+    /// Aggregated CPF counters.
+    pub cpf: CpfMetrics,
+}
+
+impl RunResults {
+    /// Summary of one procedure kind's PCT (NaN-filled when absent).
+    pub fn summary(&mut self, kind: ProcedureKind) -> Summary {
+        self.pct.entry(kind).or_default().summary()
+    }
+
+    /// Median PCT across every recorded procedure (milliseconds).
+    pub fn median_pct_ms(&mut self) -> f64 {
+        let mut all = Percentiles::new();
+        for p in self.pct.values() {
+            all.merge(p);
+        }
+        all.median()
+    }
+}
+
+/// The CPF the deployment's rings make primary for a UE (victim selection
+/// in failure experiments; mirrors the UE population's region routing).
+pub fn primary_cpf_for(
+    config: &SystemConfig,
+    layout: RegionLayout,
+    ue: neutrino_common::UeId,
+) -> Option<CpfId> {
+    let mut layout = layout;
+    layout.replicas = config.replicas;
+    let deployment = neutrino_geo::Deployment::build(layout);
+    // All workload traffic enters region 0 (see `Cluster::build`).
+    let region = &deployment.regions()[0];
+    deployment.ring_stack(region.id)?.primary(ue)
+}
+
+/// Rewrites generic handover arrivals to the system's handover flavor:
+/// proactive geo-replication turns a handover-with-CPF-change into a fast
+/// handover (§4.3).
+pub fn adapt_workload(config: &SystemConfig, workload: Workload) -> Workload {
+    let proactive = config.handover == HandoverPolicy::Proactive;
+    Workload::new(workload.into_arrivals().map(move |mut a: Arrival| {
+        if proactive && a.kind == ProcedureKind::HandoverWithCpfChange {
+            a.kind = ProcedureKind::FastHandover;
+        }
+        a
+    }))
+}
+
+/// Runs one experiment to completion and extracts everything the figures
+/// need.
+pub fn run_experiment(spec: ExperimentSpec) -> RunResults {
+    let workload = adapt_workload(&spec.config, spec.workload);
+    let mut cluster = Cluster::build(spec.config, spec.layout, workload, spec.uecfg, spec.links);
+    for f in &spec.failures {
+        cluster.fail_cpf_at(f.at, f.cpf);
+    }
+    // The horizon bounds stragglers (retry loops after unrecoverable
+    // failures); the workload itself ends the run in the common case.
+    cluster.run_until(Instant::ZERO + spec.horizon);
+    let results = cluster.take_results();
+    RunResults {
+        pct: results.pct,
+        windows: results.windows,
+        started: results.started,
+        completed: results.completed,
+        re_attached: results.re_attached,
+        max_log_bytes: cluster.max_log_bytes(),
+        cta: cluster.cta_metrics(),
+        cpf: cluster.cpf_metrics(),
+    }
+}

@@ -1,0 +1,520 @@
+//! The UE/BS population: the paper's DPDK traffic generator (§5) as a
+//! simulator node.
+//!
+//! One node emulates every UE and base station: it starts control
+//! procedures according to a workload schedule, walks each procedure's
+//! template (sending uplink steps, reacting to downlink steps), measures
+//! procedure completion times at the UE exactly as §6 defines them
+//! (including re-attach time after failures), and applies UE-side
+//! serialization costs.
+
+use crate::cluster::SimMsg;
+use crate::simnode::cta_node;
+use neutrino_codec::CodecKind;
+use neutrino_common::stats::Percentiles;
+use neutrino_common::time::{Duration, Instant};
+use neutrino_common::{BsId, CtaId, ProcedureId, UeId};
+use neutrino_messages::costs::CostTable;
+use neutrino_messages::procedures::ProcedureKind;
+use neutrino_messages::{Direction, Envelope, SysMsg};
+use neutrino_netsim::{Node, NodeEvent, Outbox};
+use std::any::Any;
+use std::collections::{HashMap, HashSet};
+
+/// One scheduled procedure start.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Arrival {
+    /// When the UE initiates the procedure.
+    pub at: Instant,
+    /// Which UE.
+    pub ue: UeId,
+    /// Which procedure.
+    pub kind: ProcedureKind,
+}
+
+/// A time-ordered stream of procedure starts.
+pub struct Workload {
+    arrivals: Box<dyn Iterator<Item = Arrival> + Send>,
+}
+
+impl Workload {
+    /// Wraps an arrival iterator (must be time-ordered).
+    pub fn new(arrivals: impl Iterator<Item = Arrival> + Send + 'static) -> Self {
+        Workload {
+            arrivals: Box::new(arrivals),
+        }
+    }
+
+    /// A workload from a pre-built vector.
+    pub fn from_vec(mut v: Vec<Arrival>) -> Self {
+        v.sort_by_key(|a| a.at);
+        Self::new(v.into_iter())
+    }
+
+    /// Unwraps the arrival stream (for adapters).
+    pub fn into_arrivals(self) -> Box<dyn Iterator<Item = Arrival> + Send> {
+        self.arrivals
+    }
+}
+
+impl std::fmt::Debug for Workload {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("Workload(..)")
+    }
+}
+
+/// Routing of UEs to regions: a UE with id `u` uses entry `u % len`.
+#[derive(Debug, Clone)]
+pub struct RegionRoute {
+    /// The region's CTA.
+    pub cta: CtaId,
+    /// The region's base stations (UE `u` camps on `bss[u % len]`).
+    pub bss: Vec<BsId>,
+}
+
+/// UE population configuration.
+#[derive(Debug, Clone)]
+pub struct UePopConfig {
+    /// Serialization in use on the UE/BS side.
+    pub codec: CodecKind,
+    /// Region routing table.
+    pub routes: Vec<RegionRoute>,
+    /// How long a UE waits for a response before retrying.
+    pub retry_timeout: Duration,
+    /// Retries before giving up and re-attaching.
+    pub max_retries: u32,
+    /// Record every k-th completed PCT sample (1 = all).
+    pub pct_sample_every: u64,
+    /// UEs whose data-access interruption windows are recorded (the app
+    /// experiments' probe UEs).
+    pub record_windows_for: HashSet<UeId>,
+    /// Generator cores (never the bottleneck).
+    pub cores: usize,
+}
+
+impl Default for UePopConfig {
+    fn default() -> Self {
+        UePopConfig {
+            codec: CodecKind::FastbufOptimized,
+            routes: vec![RegionRoute {
+                cta: CtaId::new(0),
+                bss: (0..8).map(BsId::new).collect(),
+            }],
+            retry_timeout: Duration::from_secs(1),
+            max_retries: 2,
+            pct_sample_every: 1,
+            record_windows_for: HashSet::new(),
+            cores: 64,
+        }
+    }
+}
+
+/// A completed procedure's data-access interruption window at a probe UE.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProcedureWindow {
+    /// The UE.
+    pub ue: UeId,
+    /// The procedure run's id (unique per UE).
+    pub procedure: ProcedureId,
+    /// What ran.
+    pub kind: ProcedureKind,
+    /// When the UE initiated it.
+    pub start: Instant,
+    /// When the UE regained data access (the critical step's arrival).
+    pub end: Instant,
+}
+
+/// Aggregated results extracted after a run.
+#[derive(Debug, Default)]
+pub struct UePopResults {
+    /// PCT distributions per procedure kind (milliseconds).
+    pub pct: HashMap<ProcedureKind, Percentiles>,
+    /// Interruption windows of probe UEs.
+    pub windows: Vec<ProcedureWindow>,
+    /// Procedures started.
+    pub started: u64,
+    /// Procedures whose critical path completed.
+    pub completed: u64,
+    /// Re-attaches performed (failure recovery).
+    pub re_attached: u64,
+    /// Arrivals skipped because the UE was mid-procedure.
+    pub skipped_busy: u64,
+    /// Retransmissions sent.
+    pub retransmissions: u64,
+    /// Procedures still in flight when results were extracted (0 after a
+    /// fully drained run — the liveness check).
+    pub incomplete: u64,
+    /// Paging messages received (downlink reachability).
+    pub paged: u64,
+}
+
+#[derive(Debug, Clone)]
+struct Active {
+    kind: ProcedureKind,
+    /// The kind PCT is reported under (survives re-attach recovery).
+    report_kind: ProcedureKind,
+    procedure: ProcedureId,
+    next_step: usize,
+    started: Instant,
+    critical_done: bool,
+    retries: u32,
+    last_progress: Instant,
+    last_uplink: Option<Envelope>,
+}
+
+const ARRIVAL_TIMER: u64 = u64::MAX;
+
+/// The UE/BS population node.
+pub struct UePopulation {
+    config: UePopConfig,
+    workload: Workload,
+    pending_arrival: Option<Arrival>,
+    active: HashMap<UeId, Active>,
+    proc_seq: HashMap<UeId, u64>,
+    /// Which entry of `routes` each UE currently camps on. Everyone starts
+    /// on route 0; a UE that exhausts its retries *twice in a row* (its CTA
+    /// looks dead, not merely overloaded) advances to the next route —
+    /// §4.2.5 scenario 4: "the UE executes the Re-Attach procedure through
+    /// a new CTA".
+    route_override: HashMap<UeId, usize>,
+    /// Consecutive give-ups per UE (reset by any completed procedure).
+    give_ups: HashMap<UeId, u32>,
+    results: UePopResults,
+    costs: &'static CostTable,
+}
+
+impl UePopulation {
+    /// Creates the population over a workload.
+    pub fn new(config: UePopConfig, workload: Workload) -> Self {
+        UePopulation {
+            config,
+            workload,
+            pending_arrival: None,
+            active: HashMap::new(),
+            proc_seq: HashMap::new(),
+            route_override: HashMap::new(),
+            give_ups: HashMap::new(),
+            results: UePopResults::default(),
+            costs: CostTable::baked(),
+        }
+    }
+
+    /// Takes the results (leaves defaults behind).
+    pub fn take_results(&mut self) -> UePopResults {
+        self.results.incomplete = self.active.len() as u64;
+        std::mem::take(&mut self.results)
+    }
+
+    /// Read access to results.
+    pub fn results(&self) -> &UePopResults {
+        &self.results
+    }
+
+    fn route(&self, ue: UeId) -> (BsId, CtaId) {
+        let idx = self.route_override.get(&ue).copied().unwrap_or(0);
+        let r = &self.config.routes[idx % self.config.routes.len()];
+        let bs = r.bss[ue.raw() as usize % r.bss.len().max(1)];
+        (bs, r.cta)
+    }
+
+    fn next_procedure_id(&mut self, ue: UeId) -> ProcedureId {
+        let seq = self.proc_seq.entry(ue).or_insert(0);
+        *seq += 1;
+        ProcedureId::new(*seq)
+    }
+
+    fn send_uplink(&mut self, ue: UeId, step_idx: usize, out: &mut Outbox<SimMsg>) {
+        let (bs, cta) = self.route(ue);
+        let active = self.active.get_mut(&ue).expect("active");
+        let template = active.kind.template();
+        let step = template.steps[step_idx];
+        debug_assert_eq!(step.direction, Direction::Uplink);
+        let mut env = Envelope::uplink(
+            ue,
+            active.procedure,
+            active.kind,
+            step.kind.sample(ue.raw()),
+        )
+        .from_bs(bs);
+        if step_idx + 1 == template.steps.len() {
+            env = env.ending_procedure();
+        }
+        active.last_uplink = Some(env.clone());
+        out.send(cta_node(cta), SimMsg::Sys(SysMsg::Control(env)));
+    }
+
+    fn start_procedure(
+        &mut self,
+        ue: UeId,
+        kind: ProcedureKind,
+        report_kind: ProcedureKind,
+        started: Instant,
+        out: &mut Outbox<SimMsg>,
+    ) {
+        let procedure = self.next_procedure_id(ue);
+        self.results.started += 1;
+        self.active.insert(
+            ue,
+            Active {
+                kind,
+                report_kind,
+                procedure,
+                next_step: 1, // step 0 goes out right now
+                started,
+                critical_done: false,
+                retries: 0,
+                last_progress: out.now(),
+                last_uplink: None,
+            },
+        );
+        self.send_uplink(ue, 0, out);
+        out.set_timer(self.config.retry_timeout, ue.raw());
+    }
+
+    fn record_completion(&mut self, ue: UeId, now: Instant) {
+        let active = self.active.get_mut(&ue).expect("active");
+        if active.critical_done {
+            return;
+        }
+        active.critical_done = true;
+        self.give_ups.remove(&ue);
+        self.results.completed += 1;
+        let pct = now.saturating_since(active.started);
+        let kind = active.report_kind;
+        let every = self.config.pct_sample_every.max(1);
+        if self.results.completed.is_multiple_of(every) {
+            self.results
+                .pct
+                .entry(kind)
+                .or_default()
+                .push_duration_ms(pct);
+        }
+        if self.config.record_windows_for.contains(&ue) {
+            let start = active.started;
+            let procedure = active.procedure;
+            self.results.windows.push(ProcedureWindow {
+                ue,
+                procedure,
+                kind,
+                start,
+                end: now,
+            });
+        }
+    }
+
+    fn on_downlink(&mut self, env: Envelope, out: &mut Outbox<SimMsg>) {
+        let ue = env.ue;
+        let now = out.now();
+        // An unsolicited page: respond with a service request (idle →
+        // connected) unless a procedure is already running.
+        if env.msg.kind() == neutrino_messages::MessageKind::Paging {
+            self.results.paged += 1;
+            if !self.active.contains_key(&ue) {
+                self.start_procedure(
+                    ue,
+                    ProcedureKind::ServiceRequest,
+                    ProcedureKind::ServiceRequest,
+                    now,
+                    out,
+                );
+            }
+            return;
+        }
+        let matches = self
+            .active
+            .get(&ue)
+            .map(|a| a.procedure == env.procedure)
+            .unwrap_or(false);
+        if !matches {
+            return; // stale or duplicate downlink
+        }
+        {
+            let active = self.active.get_mut(&ue).expect("checked");
+            let template = active.kind.template();
+            // Accept the downlink if it is the next expected DL step (skip
+            // duplicates of already-passed steps).
+            let pos = template.steps[active.next_step..]
+                .iter()
+                .position(|s| s.direction == Direction::Downlink && s.kind == env.msg.kind());
+            match pos {
+                Some(rel) => active.next_step += rel + 1,
+                None => return, // duplicate from a replayed recovery: ignore
+            }
+            active.last_progress = now;
+            active.retries = 0;
+        }
+        // Did we just pass the critical step?
+        let (critical_idx, next_step, kind) = {
+            let a = self.active.get(&ue).expect("checked");
+            (a.kind.template().completion_index(), a.next_step, a.kind)
+        };
+        if next_step > critical_idx {
+            self.record_completion(ue, now);
+        }
+        // Send consecutive uplink steps that follow.
+        let template = kind.template();
+        let mut step = next_step;
+        while step < template.steps.len() && template.steps[step].direction == Direction::Uplink {
+            self.send_uplink(ue, step, out);
+            step += 1;
+            let active = self.active.get_mut(&ue).expect("checked");
+            active.next_step = step;
+        }
+        // Finished the whole template?
+        if step >= template.steps.len() {
+            self.active.remove(&ue);
+        } else {
+            out.set_timer(self.config.retry_timeout, ue.raw());
+        }
+    }
+
+    fn on_ask_re_attach(&mut self, ue: UeId, out: &mut Outbox<SimMsg>) {
+        self.results.re_attached += 1;
+        let now = out.now();
+        let (report_kind, started) = match self.active.get(&ue) {
+            // Failure mid-procedure: the PCT keeps accumulating from the
+            // original start, as §6.4 measures it.
+            Some(a) => (a.report_kind, a.started),
+            // Idle UE told to re-attach: a fresh re-attach procedure.
+            None => (ProcedureKind::ReAttach, now),
+        };
+        self.start_procedure(ue, ProcedureKind::ReAttach, report_kind, started, out);
+    }
+
+    fn on_retry_timer(&mut self, ue: UeId, out: &mut Outbox<SimMsg>) {
+        let now = out.now();
+        let stalled = match self.active.get(&ue) {
+            Some(a) => now.saturating_since(a.last_progress) >= self.config.retry_timeout,
+            None => return,
+        };
+        if !stalled {
+            out.set_timer(self.config.retry_timeout, ue.raw());
+            return;
+        }
+        let give_up = {
+            let a = self.active.get_mut(&ue).expect("checked");
+            a.retries += 1;
+            a.retries > self.config.max_retries
+        };
+        if give_up {
+            // One silent procedure can be overload; two consecutive dead
+            // re-attach attempts mean the CTA itself is gone — scenario 4
+            // (§4.2.5): re-attach through the next one.
+            let gu = self.give_ups.entry(ue).or_insert(0);
+            *gu += 1;
+            if *gu >= 2 {
+                let idx = self.route_override.entry(ue).or_insert(0);
+                *idx = (*idx + 1) % self.config.routes.len().max(1);
+            }
+            self.on_ask_re_attach(ue, out);
+            return;
+        }
+        // Retransmit the last uplink.
+        let resend = self.active.get(&ue).and_then(|a| a.last_uplink.clone());
+        if let Some(env) = resend {
+            self.results.retransmissions += 1;
+            let (_, cta) = self.route(ue);
+            out.send(cta_node(cta), SimMsg::Sys(SysMsg::Control(env)));
+        }
+        out.set_timer(self.config.retry_timeout, ue.raw());
+    }
+
+    fn pump_arrivals(&mut self, out: &mut Outbox<SimMsg>) {
+        let now = out.now();
+        loop {
+            let arrival = match self
+                .pending_arrival
+                .take()
+                .or_else(|| self.workload.arrivals.next())
+            {
+                Some(a) => a,
+                None => return, // workload exhausted
+            };
+            if arrival.at > now {
+                self.pending_arrival = Some(arrival);
+                out.set_timer(arrival.at.saturating_since(now), ARRIVAL_TIMER);
+                return;
+            }
+            if self.active.contains_key(&arrival.ue) {
+                self.results.skipped_busy += 1;
+                continue;
+            }
+            self.start_procedure(arrival.ue, arrival.kind, arrival.kind, arrival.at, out);
+        }
+    }
+}
+
+impl Node<SimMsg> for UePopulation {
+    fn service_time(&self, msg: &SimMsg) -> Duration {
+        match msg {
+            SimMsg::Sys(SysMsg::Control(env)) => {
+                // UE/BS-side parse of the downlink.
+                self.costs
+                    .sim_cost(self.config.codec, env.msg.kind())
+                    .map(|c| c.access)
+                    .unwrap_or(Duration::from_nanos(500))
+            }
+            SimMsg::Sys(SysMsg::AskReAttach { .. }) => Duration::from_nanos(500),
+            _ => Duration::ZERO,
+        }
+    }
+
+    fn handle(&mut self, event: NodeEvent<SimMsg>, out: &mut Outbox<SimMsg>) {
+        match event {
+            NodeEvent::Message { msg, .. } => match msg {
+                SimMsg::Kick => self.pump_arrivals(out),
+                SimMsg::Sys(SysMsg::Control(env)) => {
+                    debug_assert_eq!(env.direction, Direction::Downlink);
+                    self.on_downlink(env, out);
+                }
+                SimMsg::Sys(SysMsg::AskReAttach { ue }) => {
+                    self.on_ask_re_attach(ue, out);
+                }
+                _ => {}
+            },
+            NodeEvent::Timer { id: ARRIVAL_TIMER } => self.pump_arrivals(out),
+            NodeEvent::Timer { id } => self.on_retry_timer(UeId::new(id), out),
+            NodeEvent::Recovered => {}
+        }
+    }
+
+    fn cores(&self) -> usize {
+        self.config.cores
+    }
+
+    fn as_any(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_from_vec_sorts() {
+        let w = Workload::from_vec(vec![
+            Arrival {
+                at: Instant::from_millis(5),
+                ue: UeId::new(2),
+                kind: ProcedureKind::ServiceRequest,
+            },
+            Arrival {
+                at: Instant::from_millis(1),
+                ue: UeId::new(1),
+                kind: ProcedureKind::InitialAttach,
+            },
+        ]);
+        let v: Vec<_> = w.arrivals.collect();
+        assert_eq!(v[0].ue, UeId::new(1));
+        assert_eq!(v[1].ue, UeId::new(2));
+    }
+
+    #[test]
+    fn route_is_deterministic() {
+        let pop = UePopulation::new(UePopConfig::default(), Workload::from_vec(vec![]));
+        let a = pop.route(UeId::new(17));
+        let b = pop.route(UeId::new(17));
+        assert_eq!(a, b);
+    }
+}

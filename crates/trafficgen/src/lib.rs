@@ -1,0 +1,28 @@
+//! Control-traffic generation (§5, §6.1).
+//!
+//! The paper replays real signaling traces from a commercial ng4T generator
+//! and synthesizes two traffic patterns: "(i) 10 Gbps bursty traffic to
+//! emulate a large number of IoT devices sending requests in a synchronized
+//! pattern, and (ii) uniform traffic to emulate a pre-specified number of
+//! control procedure requests per second." The traces themselves are
+//! proprietary, so this crate provides:
+//!
+//! * [`patterns`] — the uniform and bursty arrival processes, parameterized
+//!   exactly like the figures' x-axes (procedures/second, active users);
+//! * [`traces`] — a synthetic ng4T-like trace format (serde-serializable)
+//!   plus a generator reproducing the published per-device statistics
+//!   (a session request every ≈106.9 s per device \[37\], 4–5 % of requests
+//!   experiencing failures, heavy-tailed think times);
+//! * [`mobility`] — the drive model of Fig. 12 (base stations 700–1000 m
+//!   apart, 60 mph) emitting handover arrivals for probe UEs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod mobility;
+pub mod patterns;
+pub mod traces;
+
+pub use mobility::{DriveModel, DriveParams};
+pub use patterns::{bursty_attach, uniform, uniform_with_pool, BurstParams, UniformParams};
+pub use traces::{Trace, TraceGenerator, TraceParams, TraceRecord};

@@ -1,0 +1,138 @@
+//! The Fig. 12 drive model: a vehicle passing base stations 700–1000 m
+//! apart at highway speed, handing over at each cell edge.
+
+use neutrino_common::time::{Duration, Instant};
+use neutrino_common::UeId;
+use neutrino_core::uepop::Arrival;
+use neutrino_core::Workload;
+use neutrino_messages::procedures::ProcedureKind;
+
+/// Drive parameters (§6.6 / Fig. 12).
+#[derive(Debug, Clone, Copy)]
+pub struct DriveParams {
+    /// Vehicle speed in meters/second (60 mph ≈ 26.82 m/s).
+    pub speed_mps: f64,
+    /// Base-station spacing pattern in meters (Fig. 12 alternates 700 m and
+    /// 1000 m).
+    pub bs_spacing_m: [f64; 2],
+    /// Drive duration (the paper uses a 5-minute drive).
+    pub duration: Duration,
+    /// When the drive starts.
+    pub start: Instant,
+}
+
+impl Default for DriveParams {
+    fn default() -> Self {
+        DriveParams {
+            speed_mps: 26.82, // 60 mph
+            bs_spacing_m: [700.0, 1000.0],
+            duration: Duration::from_secs(300),
+            start: Instant::ZERO,
+        }
+    }
+}
+
+/// The drive model: computes handover instants for a probe UE.
+#[derive(Debug, Clone, Copy)]
+pub struct DriveModel {
+    params: DriveParams,
+}
+
+impl DriveModel {
+    /// Creates the model.
+    pub fn new(params: DriveParams) -> Self {
+        DriveModel { params }
+    }
+
+    /// The instants at which the vehicle crosses cell edges.
+    pub fn handover_times(&self) -> Vec<Instant> {
+        let p = self.params;
+        let mut out = Vec::new();
+        let mut pos = 0.0f64;
+        let mut i = 0usize;
+        let total = p.speed_mps * p.duration.as_secs_f64();
+        loop {
+            pos += p.bs_spacing_m[i % 2];
+            i += 1;
+            if pos >= total {
+                break;
+            }
+            out.push(p.start + Duration::from_secs_f64(pos / p.speed_mps));
+        }
+        out
+    }
+
+    /// Number of handovers during the drive.
+    pub fn handover_count(&self) -> usize {
+        self.handover_times().len()
+    }
+
+    /// Builds the probe UE's workload: attach at drive start, then one
+    /// inter-region handover per cell edge. The `single_handover` variant
+    /// of Fig. 13/14 keeps only the first.
+    pub fn workload(&self, ue: UeId, single_handover: bool) -> Workload {
+        let mut v = vec![Arrival {
+            at: self.params.start,
+            ue,
+            kind: ProcedureKind::InitialAttach,
+        }];
+        for (i, t) in self.handover_times().into_iter().enumerate() {
+            if single_handover && i > 0 {
+                break;
+            }
+            v.push(Arrival {
+                at: t,
+                ue,
+                kind: ProcedureKind::HandoverWithCpfChange,
+            });
+        }
+        Workload::from_vec(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn five_minute_drive_at_60mph_crosses_many_cells() {
+        let m = DriveModel::new(DriveParams::default());
+        // 26.82 m/s * 300 s = 8046 m over 850 m average spacing ≈ 9 cells.
+        let n = m.handover_count();
+        assert!((7..=10).contains(&n), "got {n} handovers");
+    }
+
+    #[test]
+    fn handover_times_are_increasing_and_within_the_drive() {
+        let m = DriveModel::new(DriveParams::default());
+        let times = m.handover_times();
+        assert!(times.windows(2).all(|w| w[0] < w[1]));
+        assert!(times.iter().all(|t| *t <= Instant::from_secs(300)));
+        // First edge at 700 m: 700 / 26.82 ≈ 26.1 s.
+        let first = times[0].as_secs_f64();
+        assert!((26.0..26.3).contains(&first), "first HO at {first}s");
+    }
+
+    #[test]
+    fn single_handover_workload_has_one_ho() {
+        let m = DriveModel::new(DriveParams::default());
+        let v: Vec<_> = m.workload(UeId::new(9), true).into_arrivals().collect();
+        let hos = v
+            .iter()
+            .filter(|a| a.kind == ProcedureKind::HandoverWithCpfChange)
+            .count();
+        assert_eq!(hos, 1);
+        assert_eq!(v[0].kind, ProcedureKind::InitialAttach);
+    }
+
+    #[test]
+    fn multiple_handover_workload_has_all() {
+        let m = DriveModel::new(DriveParams::default());
+        let v: Vec<_> = m.workload(UeId::new(9), false).into_arrivals().collect();
+        let hos = v
+            .iter()
+            .filter(|a| a.kind == ProcedureKind::HandoverWithCpfChange)
+            .count();
+        assert_eq!(hos, m.handover_count());
+    }
+}

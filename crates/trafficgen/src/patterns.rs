@@ -1,0 +1,184 @@
+//! The two synthetic traffic patterns of §6.1.
+
+use neutrino_common::time::{Duration, Instant};
+use neutrino_common::UeId;
+use neutrino_core::uepop::Arrival;
+use neutrino_core::Workload;
+use neutrino_messages::procedures::ProcedureKind;
+
+/// Parameters of the uniform pattern: "a pre-specified number of control
+/// procedure requests per second" (the PPS x-axes of Figs. 7, 8, 10, 11,
+/// 15, 16).
+#[derive(Debug, Clone, Copy)]
+pub struct UniformParams {
+    /// Procedures per second.
+    pub rate_pps: u64,
+    /// Measurement duration.
+    pub duration: Duration,
+    /// Procedure kind under test.
+    pub kind: ProcedureKind,
+    /// UE pool size (each arrival cycles through the pool).
+    pub ues: u64,
+    /// First UE id (so pools can be disjoint across phases).
+    pub first_ue: u64,
+    /// When the first arrival fires.
+    pub start: Instant,
+}
+
+impl UniformParams {
+    /// A pool sized so that each UE is busy a small fraction of the time
+    /// even near saturation.
+    pub fn pool_for_rate(rate_pps: u64) -> u64 {
+        (rate_pps / 8).clamp(2_000, 200_000)
+    }
+}
+
+/// Uniform arrivals: exact `rate_pps` spacing, cycling through the pool.
+pub fn uniform(p: UniformParams) -> Workload {
+    let spacing_ns = 1_000_000_000u64 / p.rate_pps.max(1);
+    let total = (p.duration.as_nanos() / spacing_ns.max(1)).max(1);
+    let kind = p.kind;
+    let (ues, first_ue, start) = (p.ues.max(1), p.first_ue, p.start);
+    Workload::new((0..total).map(move |i| Arrival {
+        at: start + Duration::from_nanos(i * spacing_ns),
+        ue: UeId::new(first_ue + (i % ues)),
+        kind,
+    }))
+}
+
+/// Uniform arrivals preceded by an attach phase that registers the whole
+/// pool (so non-attach procedures find attached UEs). The attach phase runs
+/// at `attach_rate_pps`, then the measured phase starts.
+pub fn uniform_with_pool(p: UniformParams, attach_rate_pps: u64) -> (Workload, Instant) {
+    let attach_spacing = 1_000_000_000u64 / attach_rate_pps.max(1);
+    let attach_end =
+        p.start + Duration::from_nanos(p.ues * attach_spacing) + Duration::from_millis(200);
+    let attach = (0..p.ues).map(move |i| Arrival {
+        at: p.start + Duration::from_nanos(i * attach_spacing),
+        ue: UeId::new(p.first_ue + i),
+        kind: ProcedureKind::InitialAttach,
+    });
+    let measured = uniform(UniformParams {
+        start: attach_end,
+        ..p
+    });
+    (
+        Workload::new(attach.chain(measured.into_arrivals())),
+        attach_end,
+    )
+}
+
+/// Parameters of the bursty IoT pattern (Figs. 9, 17): N devices issuing
+/// requests in a synchronized window.
+#[derive(Debug, Clone, Copy)]
+pub struct BurstParams {
+    /// Number of active devices.
+    pub active_users: u64,
+    /// The window all requests land in (the paper's 10 Gbps arrival process
+    /// drains a burst in well under a second).
+    pub window: Duration,
+    /// Procedure each device runs.
+    pub kind: ProcedureKind,
+    /// First UE id.
+    pub first_ue: u64,
+    /// Burst start.
+    pub start: Instant,
+}
+
+/// A synchronized burst: device `i` fires at `start + i·window/N` — the
+/// pathological IoT wake-up the paper stresses.
+pub fn bursty_attach(p: BurstParams) -> Workload {
+    let n = p.active_users.max(1);
+    let step_ns = p.window.as_nanos() / n;
+    let (kind, first_ue, start) = (p.kind, p.first_ue, p.start);
+    Workload::new((0..n).map(move |i| Arrival {
+        at: start + Duration::from_nanos(i * step_ns),
+        ue: UeId::new(first_ue + i),
+        kind,
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_hits_the_requested_rate() {
+        let w = uniform(UniformParams {
+            rate_pps: 10_000,
+            duration: Duration::from_secs(2),
+            kind: ProcedureKind::ServiceRequest,
+            ues: 100,
+            first_ue: 0,
+            start: Instant::ZERO,
+        });
+        let v: Vec<_> = w.into_arrivals().collect();
+        assert_eq!(v.len(), 20_000);
+        let last = v.last().unwrap().at;
+        assert!(last < Instant::from_secs(2));
+        // Exact spacing.
+        assert_eq!(v[1].at - v[0].at, Duration::from_micros(100));
+        // Cycles through the pool.
+        assert_eq!(v[0].ue, UeId::new(0));
+        assert_eq!(v[100].ue, UeId::new(0));
+        assert_eq!(v[101].ue, UeId::new(1));
+    }
+
+    #[test]
+    fn uniform_with_pool_attaches_everyone_first() {
+        let (w, measured_start) = uniform_with_pool(
+            UniformParams {
+                rate_pps: 1_000,
+                duration: Duration::from_millis(100),
+                kind: ProcedureKind::ServiceRequest,
+                ues: 50,
+                first_ue: 0,
+                start: Instant::ZERO,
+            },
+            10_000,
+        );
+        let v: Vec<_> = w.into_arrivals().collect();
+        let attaches: Vec<_> = v
+            .iter()
+            .filter(|a| a.kind == ProcedureKind::InitialAttach)
+            .collect();
+        assert_eq!(attaches.len(), 50);
+        assert!(attaches.iter().all(|a| a.at < measured_start));
+        let srs: Vec<_> = v
+            .iter()
+            .filter(|a| a.kind == ProcedureKind::ServiceRequest)
+            .collect();
+        assert_eq!(srs.len(), 100);
+        assert!(srs.iter().all(|a| a.at >= measured_start));
+        // Every UE attached exactly once.
+        let set: std::collections::HashSet<_> = attaches.iter().map(|a| a.ue).collect();
+        assert_eq!(set.len(), 50);
+    }
+
+    #[test]
+    fn burst_lands_inside_the_window() {
+        let w = bursty_attach(BurstParams {
+            active_users: 10_000,
+            window: Duration::from_millis(50),
+            kind: ProcedureKind::InitialAttach,
+            first_ue: 1_000_000,
+            start: Instant::from_secs(1),
+        });
+        let v: Vec<_> = w.into_arrivals().collect();
+        assert_eq!(v.len(), 10_000);
+        assert!(v.iter().all(|a| a.at >= Instant::from_secs(1)));
+        assert!(v
+            .iter()
+            .all(|a| a.at <= Instant::from_secs(1) + Duration::from_millis(50)));
+        // Distinct devices.
+        let set: std::collections::HashSet<_> = v.iter().map(|a| a.ue).collect();
+        assert_eq!(set.len(), 10_000);
+    }
+
+    #[test]
+    fn pool_sizing_is_bounded() {
+        assert_eq!(UniformParams::pool_for_rate(1_000), 2_000);
+        assert_eq!(UniformParams::pool_for_rate(160_000), 20_000);
+        assert_eq!(UniformParams::pool_for_rate(10_000_000), 200_000);
+    }
+}

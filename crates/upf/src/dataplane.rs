@@ -1,0 +1,84 @@
+//! The data-plane forwarding model.
+//!
+//! The application experiments (§6.6) send sensor/VR packets through the
+//! UPF; a packet forwards only while its UE's session is active. During a
+//! handover or a failure-recovery window, packets queue (briefly) or miss
+//! their deadline — exactly the effect Figs. 13/14 count.
+
+use crate::session::SessionTable;
+use neutrino_common::time::{Duration, Instant};
+use neutrino_common::UeId;
+
+/// What happened to one data packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ForwardOutcome {
+    /// Forwarded; carries the data-plane transit delay.
+    Forwarded {
+        /// When the packet reaches the edge application.
+        delivered_at: Instant,
+    },
+    /// No active session — the packet is held until the control plane
+    /// restores connectivity (it will miss its deadline if that takes too
+    /// long).
+    Blocked,
+}
+
+/// Per-UPF data-plane model: constant per-packet forwarding latency over the
+/// session table.
+#[derive(Debug)]
+pub struct DataPlane {
+    /// One-way UE→UPF→edge-app transit time when the session is active.
+    pub transit: Duration,
+}
+
+impl DataPlane {
+    /// A data plane with the given transit latency.
+    pub fn new(transit: Duration) -> Self {
+        DataPlane { transit }
+    }
+
+    /// Attempts to forward a packet sent by `ue` at `sent_at`.
+    pub fn forward(&self, table: &SessionTable, ue: UeId, sent_at: Instant) -> ForwardOutcome {
+        if table.active(ue) {
+            ForwardOutcome::Forwarded {
+                delivered_at: sent_at + self.transit,
+            }
+        } else {
+            ForwardOutcome::Blocked
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::session::UpfCore;
+    use neutrino_common::{CpfId, UpfId};
+    use neutrino_messages::sysmsg::{S11Request, SessionOp};
+
+    #[test]
+    fn forwards_only_with_active_session() {
+        let mut upf = UpfCore::new(UpfId::new(1));
+        let dp = DataPlane::new(Duration::from_millis(2));
+        let ue = UeId::new(7);
+        let t = Instant::from_secs(1);
+
+        assert_eq!(dp.forward(upf.table(), ue, t), ForwardOutcome::Blocked);
+
+        upf.on_s11(S11Request {
+            ue,
+            cpf: CpfId::new(0),
+            op: SessionOp::Create,
+            session: None,
+        });
+        assert_eq!(
+            dp.forward(upf.table(), ue, t),
+            ForwardOutcome::Forwarded {
+                delivered_at: t + Duration::from_millis(2)
+            }
+        );
+
+        upf.table_mut().release(ue);
+        assert_eq!(dp.forward(upf.table(), ue, t), ForwardOutcome::Blocked);
+    }
+}

@@ -1,0 +1,17 @@
+//! The User Plane Function (UPF) substrate.
+//!
+//! The paper interfaces Intel's 5G UPF with Neutrino over S11 (§6.6); this
+//! crate is the from-scratch stand-in: a session/bearer manager answering
+//! S11 requests, plus a data-plane forwarding model the edge-application
+//! experiments (self-driving car, VR) drive packets through. A packet can be
+//! forwarded only while its UE's session exists and its bearers are active —
+//! which is exactly what makes control-plane delays visible to applications.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dataplane;
+pub mod session;
+
+pub use dataplane::{DataPlane, ForwardOutcome};
+pub use session::{SessionState, SessionTable, UpfCore, UpfOutput};

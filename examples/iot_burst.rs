@@ -1,0 +1,40 @@
+//! Bursty IoT attach storm (the Fig. 9 scenario): tens of thousands of
+//! devices wake up in the same 100 ms window.
+//!
+//! ```text
+//! cargo run --example iot_burst --release [devices]
+//! ```
+
+use neutrino::prelude::*;
+use neutrino_trafficgen::{bursty_attach, BurstParams};
+
+fn main() {
+    let devices: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(30_000);
+    println!("{devices} IoT devices attach within 100 ms:");
+    println!();
+    for config in [SystemConfig::existing_epc(), SystemConfig::neutrino()] {
+        let name = config.name;
+        let workload = bursty_attach(BurstParams {
+            active_users: devices,
+            window: Duration::from_millis(100),
+            kind: ProcedureKind::InitialAttach,
+            first_ue: 0,
+            start: Instant::from_millis(10),
+        });
+        let mut spec = ExperimentSpec::new(config, workload);
+        spec.horizon = Duration::from_secs(600);
+        spec.uecfg.retry_timeout = Duration::from_secs(120);
+        let mut results = run_experiment(spec);
+        let s = results.summary(ProcedureKind::InitialAttach);
+        println!(
+            "{name:<14} p25={:>9.2}ms  p50={:>9.2}ms  p75={:>9.2}ms  max={:>9.2}ms  ({} attached)",
+            s.p25, s.p50, s.p75, s.max, s.count
+        );
+    }
+    println!();
+    println!("The burst floods the CPF queues; Neutrino's cheaper per-message");
+    println!("serialization drains them roughly twice as fast (§6.3, Fig. 9).");
+}

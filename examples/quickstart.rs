@@ -1,0 +1,49 @@
+//! Quickstart: simulate Neutrino next to the existing EPC and print
+//! procedure completion times.
+//!
+//! ```text
+//! cargo run --example quickstart --release
+//! ```
+
+use neutrino::prelude::*;
+
+fn main() {
+    // 2 000 UEs attach, then each issues a service request — uniform rate.
+    let build_workload = || {
+        let mut v = Vec::new();
+        for u in 0..2_000u64 {
+            v.push(Arrival {
+                at: Instant::from_micros(u * 100),
+                ue: UeId::new(u),
+                kind: ProcedureKind::InitialAttach,
+            });
+            v.push(Arrival {
+                at: Instant::from_micros(u * 100 + 400_000),
+                ue: UeId::new(u),
+                kind: ProcedureKind::ServiceRequest,
+            });
+        }
+        Workload::from_vec(v)
+    };
+
+    println!("system       procedure         p50        p95      completed");
+    println!("--------------------------------------------------------------");
+    for config in [SystemConfig::existing_epc(), SystemConfig::neutrino()] {
+        let name = config.name;
+        let spec = ExperimentSpec::new(config, build_workload());
+        let mut results = run_experiment(spec);
+        for kind in [ProcedureKind::InitialAttach, ProcedureKind::ServiceRequest] {
+            let s = results.summary(kind);
+            println!(
+                "{name:<12} {:<16} {:>7.3}ms  {:>7.3}ms  {:>8}",
+                kind.name(),
+                s.p50,
+                s.p95,
+                s.count
+            );
+        }
+    }
+    println!();
+    println!("Neutrino's gap over the EPC grows with load — run the full");
+    println!("figure sweep with: cargo run -p neutrino-bench --bin repro --release -- all");
+}

@@ -1,0 +1,59 @@
+//! # Neutrino — a low latency and consistent cellular control plane
+//!
+//! A from-scratch Rust reproduction of *"A Low Latency and Consistent
+//! Cellular Control Plane"* (SIGCOMM 2020): the Neutrino control plane —
+//! Read-your-Writes consistency through per-procedure checkpointing and CTA
+//! message logging, proactive geo-replication over two-level consistent
+//! hash rings, and an optimized FlatBuffers serialization engine — together
+//! with every substrate it needs (an ASN.1 PER codec, an S1AP/NAS message
+//! model, a discrete-event testbed simulator, a UPF, traffic generation,
+//! edge application models) and every baseline it is compared against
+//! (existing EPC, SkyCore, DPCM).
+//!
+//! This crate re-exports the workspace members under one roof; see README.md
+//! for the tour and DESIGN.md for the architecture and experiment index.
+//!
+//! ```
+//! use neutrino::prelude::*;
+//!
+//! // Simulate 200 attaches against the full Neutrino deployment.
+//! let workload = Workload::from_vec(
+//!     (0..200u64).map(|u| Arrival {
+//!         at: Instant::from_micros(u * 500),
+//!         ue: UeId::new(u),
+//!         kind: ProcedureKind::InitialAttach,
+//!     }).collect(),
+//! );
+//! let spec = ExperimentSpec::new(SystemConfig::neutrino(), workload);
+//! let mut results = run_experiment(spec);
+//! assert_eq!(results.completed, 200);
+//! assert!(results.summary(ProcedureKind::InitialAttach).p50 > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use neutrino_apps as apps;
+pub use neutrino_codec as codec;
+pub use neutrino_common as common;
+pub use neutrino_core as core;
+pub use neutrino_cpf as cpf;
+pub use neutrino_cta as cta;
+pub use neutrino_geo as geo;
+pub use neutrino_messages as messages;
+pub use neutrino_net as net;
+pub use neutrino_netsim as netsim;
+pub use neutrino_trafficgen as trafficgen;
+pub use neutrino_upf as upf;
+
+/// The most common imports for driving experiments.
+pub mod prelude {
+    pub use neutrino_common::time::{Duration, Instant};
+    pub use neutrino_common::{BsId, CpfId, CtaId, UeId, UpfId};
+    pub use neutrino_core::experiment::{
+        primary_cpf_for, run_experiment, ExperimentSpec, FailureSpec,
+    };
+    pub use neutrino_core::uepop::Arrival;
+    pub use neutrino_core::{SystemConfig, Workload};
+    pub use neutrino_messages::procedures::ProcedureKind;
+}
