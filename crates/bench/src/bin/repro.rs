@@ -6,7 +6,14 @@
 //! cargo run -p neutrino-bench --bin repro --release -- fig9 --huge   # 2M-user burst
 //! cargo run -p neutrino-bench --bin repro --release -- all --quick   # small sweep
 //! cargo run -p neutrino-bench --bin repro --release -- all --json out.json
+//! cargo run -p neutrino-bench --bin repro --release -- all --jobs 8  # worker count
+//! cargo run -p neutrino-bench --bin repro --release -- all --bench-out BENCH_netsim.json
 //! ```
+//!
+//! Figure cells run across a worker pool (`--jobs N`, default: all host
+//! cores); results are collected in input order, so the tables and the
+//! `--json` file are byte-identical to a `--jobs 1` run. `--bench-out`
+//! records engine throughput (events/sec, wall-clock) per figure cell.
 //!
 //! Absolute latencies come from a calibrated simulator (DESIGN.md §3);
 //! the reproduction target is each figure's *shape*.
@@ -15,18 +22,57 @@ use neutrino_bench::figures::{
     ablation, appsfig, burst, failure, handover, logsize, pct, serialization,
 };
 use neutrino_bench::figures::{PctPoint, Profile};
-use neutrino_bench::render;
+use neutrino_bench::{render, sweep};
+use serde::Serialize;
 use std::collections::BTreeMap;
+
+/// Engine throughput of one figure cell (`--bench-out`).
+#[derive(Debug, Serialize)]
+struct CellBench {
+    /// The cell's index in the figure's input order.
+    index: usize,
+    /// Simulation runs the cell executed.
+    sim_runs: usize,
+    /// Engine events processed across those runs.
+    events_processed: u64,
+    /// Host seconds the engine spent inside `run_until`.
+    sim_wall_s: f64,
+    /// Engine throughput in events per wall-clock second.
+    events_per_sec: f64,
+}
+
+/// One figure's perf record (`--bench-out`).
+#[derive(Debug, Serialize)]
+struct FigBench {
+    /// End-to-end wall seconds for the figure (includes sweep overhead).
+    wall_s: f64,
+    /// Engine events summed over every cell.
+    events_processed: u64,
+    /// Engine wall seconds summed over every cell (exceeds `wall_s` when
+    /// cells overlap on multiple workers).
+    sim_wall_s: f64,
+    /// Aggregate engine throughput: events over summed engine wall time.
+    events_per_sec: f64,
+    /// Per-cell breakdown in input order.
+    cells: Vec<CellBench>,
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
     let huge = args.iter().any(|a| a == "--huge");
-    let json_path = args
-        .iter()
-        .position(|a| a == "--json")
-        .and_then(|i| args.get(i + 1))
-        .cloned();
+    let flag_value = |flag: &str| {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let json_path = flag_value("--json");
+    let bench_path = flag_value("--bench-out");
+    if let Some(jobs) = flag_value("--jobs") {
+        let jobs: usize = jobs.parse().expect("--jobs takes a worker count");
+        sweep::set_jobs(jobs);
+    }
     let profile = if quick { Profile::Quick } else { Profile::Full };
     let mut figs: Vec<String> = args
         .iter()
@@ -44,8 +90,11 @@ fn main() {
     }
 
     let mut json: BTreeMap<String, serde_json::Value> = BTreeMap::new();
+    let mut bench: BTreeMap<String, FigBench> = BTreeMap::new();
+    let run_started = std::time::Instant::now();
     for fig in &figs {
         let started = std::time::Instant::now();
+        let _ = sweep::take_cell_perf();
         match fig.as_str() {
             "fig3" => run_fig3(profile, &mut json),
             "fig7" => run_pct_fig(
@@ -108,7 +157,40 @@ fn main() {
             "ablation" => run_ablation(&mut json),
             other => eprintln!("unknown figure: {other}"),
         }
-        eprintln!("[{fig} done in {:.1}s]", started.elapsed().as_secs_f64());
+        let wall = started.elapsed();
+        let cells: Vec<CellBench> = sweep::take_cell_perf()
+            .into_iter()
+            .map(|c| CellBench {
+                index: c.index,
+                sim_runs: c.runs,
+                events_processed: c.events_processed,
+                sim_wall_s: c.sim_wall.as_secs_f64(),
+                events_per_sec: c.events_per_sec(),
+            })
+            .collect();
+        let events_processed: u64 = cells.iter().map(|c| c.events_processed).sum();
+        let sim_wall_s: f64 = cells.iter().map(|c| c.sim_wall_s).sum();
+        let events_per_sec = if sim_wall_s > 0.0 {
+            events_processed as f64 / sim_wall_s
+        } else {
+            0.0
+        };
+        eprintln!(
+            "[{fig} done in {:.1}s — {} engine events, {:.0} events/sec]",
+            wall.as_secs_f64(),
+            events_processed,
+            events_per_sec
+        );
+        bench.insert(
+            fig.clone(),
+            FigBench {
+                wall_s: wall.as_secs_f64(),
+                events_processed,
+                sim_wall_s,
+                events_per_sec,
+                cells,
+            },
+        );
     }
 
     if let Some(path) = json_path {
@@ -116,6 +198,58 @@ fn main() {
         std::fs::write(&path, body).expect("write json");
         eprintln!("wrote {path}");
     }
+    if let Some(path) = bench_path {
+        write_bench(&path, &bench, run_started.elapsed(), quick);
+    }
+}
+
+/// Writes the `--bench-out` perf report (BENCH_netsim.json shape).
+fn write_bench(
+    path: &str,
+    bench: &BTreeMap<String, FigBench>,
+    total_wall: std::time::Duration,
+    quick: bool,
+) {
+    let events_processed: u64 = bench.values().map(|f| f.events_processed).sum();
+    let sim_wall_s: f64 = bench.values().map(|f| f.sim_wall_s).sum();
+    #[derive(Serialize)]
+    struct Totals {
+        wall_s: f64,
+        events_processed: u64,
+        sim_wall_s: f64,
+        events_per_sec: f64,
+    }
+    let totals = Totals {
+        wall_s: total_wall.as_secs_f64(),
+        events_processed,
+        sim_wall_s,
+        events_per_sec: if sim_wall_s > 0.0 {
+            events_processed as f64 / sim_wall_s
+        } else {
+            0.0
+        },
+    };
+    let report = serde_json::Value::Map(vec![
+        (
+            "profile".to_string(),
+            serde_json::to_value(&if quick { "quick" } else { "full" }).expect("ser"),
+        ),
+        ("jobs".to_string(), serde_json::to_value(&sweep::jobs()).expect("ser")),
+        (
+            "host_cores".to_string(),
+            serde_json::to_value(
+                &std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1),
+            )
+            .expect("ser"),
+        ),
+        ("totals".to_string(), serde_json::to_value(&totals).expect("ser")),
+        ("figures".to_string(), serde_json::to_value(bench).expect("ser")),
+    ]);
+    let body = serde_json::to_string_pretty(&report).expect("serializable");
+    std::fs::write(path, body).expect("write bench json");
+    eprintln!("wrote {path}");
 }
 
 fn run_ablation(json: &mut BTreeMap<String, serde_json::Value>) {

@@ -2,6 +2,7 @@
 //! N, and the inter-region latency sensitivity of failure recovery — the
 //! tradeoffs §4.3's footnote 14 alludes to.
 
+use crate::sweep::{run_cells, Cell};
 use neutrino_common::stats::Summary;
 use neutrino_common::time::Duration;
 use neutrino_core::{LinkProfile, SystemConfig};
@@ -28,31 +29,35 @@ pub fn replica_sweep(rate_pps: u64, duration: Duration) -> Vec<ReplicaPoint> {
     use neutrino_core::experiment::{run_experiment, ExperimentSpec};
     use neutrino_trafficgen::{uniform, UniformParams};
 
-    let mut out = Vec::new();
-    for replicas in [1usize, 2, 3, 4] {
-        let mut config = SystemConfig::neutrino();
-        config.replicas = replicas;
-        let pool = (rate_pps * duration.as_nanos() / 1_000_000_000).max(1_000);
-        let workload = uniform(UniformParams {
-            rate_pps,
-            duration,
-            kind: ProcedureKind::InitialAttach,
-            ues: pool,
-            first_ue: 0,
-            start: neutrino_common::time::Instant::ZERO,
-        });
-        let mut spec = ExperimentSpec::new(config, workload);
-        spec.horizon = duration + Duration::from_secs(8);
-        let mut results = run_experiment(spec);
-        let s: Summary = results.summary(ProcedureKind::InitialAttach);
-        out.push(ReplicaPoint {
-            replicas,
-            attach_p50_ms: s.p50,
-            syncs_sent: results.cpf.syncs_sent,
-            max_log_bytes: results.max_log_bytes,
-        });
-    }
-    out
+    let cells: Vec<Cell<ReplicaPoint>> = [1usize, 2, 3, 4]
+        .into_iter()
+        .map(|replicas| {
+            Box::new(move || {
+                let mut config = SystemConfig::neutrino();
+                config.replicas = replicas;
+                let pool = (rate_pps * duration.as_nanos() / 1_000_000_000).max(1_000);
+                let workload = uniform(UniformParams {
+                    rate_pps,
+                    duration,
+                    kind: ProcedureKind::InitialAttach,
+                    ues: pool,
+                    first_ue: 0,
+                    start: neutrino_common::time::Instant::ZERO,
+                });
+                let mut spec = ExperimentSpec::new(config, workload);
+                spec.horizon = duration + Duration::from_secs(8);
+                let mut results = run_experiment(spec);
+                let s: Summary = results.summary(ProcedureKind::InitialAttach);
+                ReplicaPoint {
+                    replicas,
+                    attach_p50_ms: s.p50,
+                    syncs_sent: results.cpf.syncs_sent,
+                    max_log_bytes: results.max_log_bytes,
+                }
+            }) as Cell<ReplicaPoint>
+        })
+        .collect();
+    run_cells(cells)
 }
 
 /// One latency-sensitivity row.
@@ -68,19 +73,24 @@ pub struct LatencyPoint {
 /// replicas live before failure recovery stops being cheap? (The paper's
 /// two-server testbed could not expose this dimension.)
 pub fn inter_region_sweep(rate_pps: u64, duration: Duration) -> Vec<LatencyPoint> {
-    let mut out = Vec::new();
-    for us in [100u64, 500, 2_000, 5_000] {
-        let links = LinkProfile {
-            inter_region: Duration::from_micros(us),
-            ..LinkProfile::default()
-        };
-        let mut pct = failure_cell_with_links(SystemConfig::neutrino(), rate_pps, duration, links);
-        out.push(LatencyPoint {
-            inter_region_us: us,
-            neutrino_failure_p50_ms: pct.median(),
-        });
-    }
-    out
+    let cells: Vec<Cell<LatencyPoint>> = [100u64, 500, 2_000, 5_000]
+        .into_iter()
+        .map(|us| {
+            Box::new(move || {
+                let links = LinkProfile {
+                    inter_region: Duration::from_micros(us),
+                    ..LinkProfile::default()
+                };
+                let mut pct =
+                    failure_cell_with_links(SystemConfig::neutrino(), rate_pps, duration, links);
+                LatencyPoint {
+                    inter_region_us: us,
+                    neutrino_failure_p50_ms: pct.median(),
+                }
+            }) as Cell<LatencyPoint>
+        })
+        .collect();
+    run_cells(cells)
 }
 
 /// `failure_cell` with an explicit link profile.

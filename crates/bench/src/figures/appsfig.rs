@@ -1,6 +1,7 @@
 //! Figures 3, 13, 14: application-level impact.
 
 use super::Profile;
+use crate::sweep::{run_cells, Cell};
 use neutrino_apps::experiments::{drive_experiment, startup_experiment, StartupOutcome};
 use neutrino_common::time::Duration;
 use neutrino_core::SystemConfig;
@@ -33,21 +34,23 @@ pub fn fig3_rates(profile: Profile) -> Vec<u64> {
 
 /// Fig. 3: video startup delay and page load time vs. active users/second.
 pub fn fig3(profile: Profile) -> Vec<StartupPoint> {
-    let mut out = Vec::new();
+    let mut cells: Vec<Cell<StartupPoint>> = Vec::new();
     for &rate in &fig3_rates(profile) {
         for config in [SystemConfig::existing_epc(), SystemConfig::neutrino()] {
-            let name = config.name.to_string();
-            let o: StartupOutcome = startup_experiment(config, rate);
-            out.push(StartupPoint {
-                rate,
-                system: name,
-                video_startup_ms: o.video_startup_ms,
-                page_load_ms: o.page_load_ms,
-                pct_ms: o.service_request_pct_ms,
-            });
+            cells.push(Box::new(move || {
+                let name = config.name.to_string();
+                let o: StartupOutcome = startup_experiment(config, rate);
+                StartupPoint {
+                    rate,
+                    system: name,
+                    video_startup_ms: o.video_startup_ms,
+                    page_load_ms: o.page_load_ms,
+                    pct_ms: o.service_request_pct_ms,
+                }
+            }));
         }
     }
-    out
+    run_cells(cells)
 }
 
 /// One Fig. 13/14 row.
@@ -73,25 +76,27 @@ pub fn drive_users(profile: Profile) -> Vec<u64> {
 }
 
 fn drive_fig(profile: Profile, rate_hz: u64, deadline: Duration) -> Vec<DrivePoint> {
-    let mut out = Vec::new();
+    let mut cells: Vec<Cell<DrivePoint>> = Vec::new();
     for &users in &drive_users(profile) {
         for single in [true, false] {
             if profile == Profile::Quick && !single {
                 continue;
             }
             for config in [SystemConfig::existing_epc(), SystemConfig::neutrino()] {
-                let name = config.name.to_string();
-                let o = drive_experiment(config, users, single, rate_hz, deadline);
-                out.push(DrivePoint {
-                    active_users: users,
-                    system: name,
-                    single_handover: single,
-                    missed_deadlines: o.missed_full_drive,
-                });
+                cells.push(Box::new(move || {
+                    let name = config.name.to_string();
+                    let o = drive_experiment(config, users, single, rate_hz, deadline);
+                    DrivePoint {
+                        active_users: users,
+                        system: name,
+                        single_handover: single,
+                        missed_deadlines: o.missed_full_drive,
+                    }
+                }));
             }
         }
     }
-    out
+    run_cells(cells)
 }
 
 /// Fig. 13: the self-driving car (1 kHz sensors, 100 ms budget \[55\]).

@@ -1,6 +1,7 @@
 //! Fig. 9: attach PCT under bursty IoT traffic, by active-user count.
 
 use super::{PctPoint, Profile};
+use crate::sweep::{run_cells, Cell};
 use neutrino_common::time::{Duration, Instant};
 use neutrino_core::experiment::{run_experiment, ExperimentSpec};
 use neutrino_core::SystemConfig;
@@ -40,19 +41,17 @@ pub fn fig9_users(profile: Profile, huge: bool) -> Vec<u64> {
 
 /// Fig. 9: attach PCT with bursty control traffic.
 pub fn fig9(profile: Profile, huge: bool) -> Vec<PctPoint> {
-    let mut out = Vec::new();
+    let mut cells: Vec<Cell<PctPoint>> = Vec::new();
     for &users in &fig9_users(profile, huge) {
         for config in [SystemConfig::existing_epc(), SystemConfig::neutrino()] {
-            let name = config.name.to_string();
-            let summary = burst_cell(config, users);
-            out.push(PctPoint {
+            cells.push(Box::new(move || PctPoint {
                 x: users,
-                system: name,
-                summary,
-            });
+                system: config.name.to_string(),
+                summary: burst_cell(config, users),
+            }));
         }
     }
-    out
+    run_cells(cells)
 }
 
 #[cfg(test)]

@@ -8,6 +8,7 @@
 //! at the figure's x-axis rate provides the queueing context.
 
 use super::{PctPoint, Profile};
+use crate::sweep::{run_cells, Cell};
 use neutrino_common::stats::Percentiles;
 use neutrino_common::time::{Duration, Instant};
 use neutrino_common::UeId;
@@ -117,19 +118,18 @@ pub fn failure_cell_links(
 /// Fig. 10: handover PCT under failure, 40K–160K PPS, EPC vs Neutrino.
 pub fn fig10(profile: Profile) -> Vec<PctPoint> {
     let rates = profile.rates(&[40_000, 60_000, 80_000, 100_000, 120_000, 140_000, 160_000]);
-    let mut out = Vec::new();
+    let duration = Duration::from_millis(profile.duration_ms());
+    let mut cells: Vec<Cell<PctPoint>> = Vec::new();
     for &rate in &rates {
         for config in [SystemConfig::existing_epc(), SystemConfig::neutrino()] {
-            let name = config.name.to_string();
-            let mut pct = failure_cell(config, rate, Duration::from_millis(profile.duration_ms()));
-            out.push(PctPoint {
+            cells.push(Box::new(move || PctPoint {
                 x: rate,
-                system: name,
-                summary: pct.summary(),
-            });
+                system: config.name.to_string(),
+                summary: failure_cell(config, rate, duration).summary(),
+            }));
         }
     }
-    out
+    run_cells(cells)
 }
 
 #[cfg(test)]

@@ -3,6 +3,7 @@
 
 use super::{PctPoint, Profile};
 use crate::figures::pct::uniform_pct_cell;
+use crate::sweep::{run_cells, Cell};
 use neutrino_common::time::Duration;
 use neutrino_core::SystemConfig;
 use neutrino_messages::procedures::ProcedureKind;
@@ -19,27 +20,29 @@ pub fn systems() -> Vec<SystemConfig> {
 /// Fig. 11: handover PCT, 40K–160K PPS.
 pub fn fig11(profile: Profile) -> Vec<PctPoint> {
     let rates = profile.rates(&[40_000, 60_000, 80_000, 100_000, 120_000, 140_000, 160_000]);
-    let mut out = Vec::new();
+    let duration = Duration::from_millis(profile.duration_ms());
+    let mut cells: Vec<Cell<PctPoint>> = Vec::new();
     for &rate in &rates {
         for config in systems() {
-            let name = match config.name {
-                "Neutrino" => "Neutrino-Proactive".to_string(),
-                other => other.to_string(),
-            };
-            let summary = uniform_pct_cell(
-                config,
-                ProcedureKind::HandoverWithCpfChange,
-                rate,
-                Duration::from_millis(profile.duration_ms()),
-            );
-            out.push(PctPoint {
-                x: rate,
-                system: name,
-                summary,
-            });
+            cells.push(Box::new(move || {
+                let name = match config.name {
+                    "Neutrino" => "Neutrino-Proactive".to_string(),
+                    other => other.to_string(),
+                };
+                PctPoint {
+                    x: rate,
+                    system: name,
+                    summary: uniform_pct_cell(
+                        config,
+                        ProcedureKind::HandoverWithCpfChange,
+                        rate,
+                        duration,
+                    ),
+                }
+            }));
         }
     }
-    out
+    run_cells(cells)
 }
 
 #[cfg(test)]

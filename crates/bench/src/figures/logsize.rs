@@ -2,6 +2,7 @@
 //! procedures under per-procedure synchronization.
 
 use super::Profile;
+use crate::sweep::{run_cells, Cell};
 use neutrino_common::time::{Duration, Instant};
 use neutrino_core::experiment::{run_experiment, ExperimentSpec};
 use neutrino_core::SystemConfig;
@@ -70,20 +71,20 @@ pub fn fig17_users(profile: Profile) -> Vec<u64> {
 
 /// Fig. 17: peak log size for attach and handover bursts.
 pub fn fig17(profile: Profile) -> Vec<LogSizePoint> {
-    let mut out = Vec::new();
+    let mut cells: Vec<Cell<LogSizePoint>> = Vec::new();
     for &users in &fig17_users(profile) {
         for kind in [
             ProcedureKind::InitialAttach,
             ProcedureKind::HandoverWithCpfChange,
         ] {
-            out.push(LogSizePoint {
+            cells.push(Box::new(move || LogSizePoint {
                 users,
                 procedure: kind.name().to_string(),
                 max_log_bytes: log_cell(kind, users),
-            });
+            }));
         }
     }
-    out
+    run_cells(cells)
 }
 
 #[cfg(test)]

@@ -1,6 +1,7 @@
 //! Figures 7, 8, 15, 16: procedure completion time vs. uniform arrival rate.
 
 use super::{PctPoint, Profile};
+use crate::sweep::{run_cells, Cell};
 use neutrino_common::stats::Summary;
 use neutrino_common::time::{Duration, Instant};
 use neutrino_core::experiment::{run_experiment, ExperimentSpec};
@@ -71,24 +72,19 @@ fn sweep(
     rates: &[u64],
     profile: Profile,
 ) -> Vec<PctPoint> {
-    let mut out = Vec::new();
+    let duration = Duration::from_millis(profile.duration_ms());
+    let mut cells: Vec<Cell<PctPoint>> = Vec::new();
     for &rate in &profile.rates(rates) {
         for config in &systems {
-            let name = config.name.to_string();
-            let summary = uniform_pct_cell(
-                config.clone(),
-                kind,
-                rate,
-                Duration::from_millis(profile.duration_ms()),
-            );
-            out.push(PctPoint {
+            let config = config.clone();
+            cells.push(Box::new(move || PctPoint {
                 x: rate,
-                system: name,
-                summary,
-            });
+                system: config.name.to_string(),
+                summary: uniform_pct_cell(config, kind, rate, duration),
+            }));
         }
     }
-    out
+    run_cells(cells)
 }
 
 /// Fig. 7: `service request` PCT, 100K–220K PPS, existing EPC / DPCM /

@@ -15,5 +15,6 @@
 
 pub mod figures;
 pub mod render;
+pub mod sweep;
 
 pub use figures::*;

@@ -1,0 +1,21 @@
+//! The parallel sweep must be invisible in the results: the same figure
+//! run with 1 worker and with 8 workers serializes to byte-identical JSON.
+
+use neutrino_bench::figures::{pct, Profile};
+use neutrino_bench::sweep;
+
+#[test]
+#[cfg_attr(debug_assertions, ignore = "simulation-scale test; run with --release")]
+fn jobs_1_and_jobs_8_serialize_byte_identically() {
+    // One test drives both worker counts: `set_jobs` is process-global, so
+    // the sequence must not interleave with other sweeps.
+    sweep::set_jobs(1);
+    let sequential = serde_json::to_string_pretty(&pct::fig8(Profile::Quick)).expect("ser");
+    sweep::set_jobs(8);
+    let parallel = serde_json::to_string_pretty(&pct::fig8(Profile::Quick)).expect("ser");
+    sweep::set_jobs(0);
+    assert_eq!(
+        sequential, parallel,
+        "figure JSON must not depend on the worker count"
+    );
+}

@@ -351,6 +351,10 @@ impl CtaCore {
         }
         self.failed.insert(cpf);
         self.ring.remove(cpf);
+        // The log map iterates in arbitrary (hash) order; recover UEs in id
+        // order so every run emits the same failover message sequence.
+        stuck.sort_unstable_by_key(|env| env.ue);
+        stuck_no_log.sort_unstable_by_key(|&(ue, _)| ue);
         let mut out = Vec::new();
         for env in stuck {
             out.extend(self.failover(env, now));
@@ -432,6 +436,9 @@ impl CtaCore {
                 }
             }
         }
+        // Hash-order scan: prune in (ue, procedure) order so the notice
+        // sequence is identical on every run.
+        expired.sort_unstable();
         let mut out = Vec::new();
         for (ue, proc) in expired {
             out.extend(self.notify_outdated(ue, proc));

@@ -11,10 +11,10 @@
 //! every run.
 
 use crate::links::Links;
-use crate::stats::NodeStats;
+use crate::stats::{NodeStats, SimStats};
 use neutrino_common::time::{Duration, Instant};
 use std::any::Any;
-use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::collections::{BinaryHeap, VecDeque};
 use std::fmt;
 
 /// Identifies a node inside a simulation.
@@ -88,6 +88,13 @@ impl<M> Outbox<M> {
         }
     }
 
+    /// Re-arms a recycled outbox: buffers are kept (already drained by
+    /// `flush_outbox`), only the clock is reset.
+    fn rearm(&mut self, now: Instant) {
+        debug_assert!(self.sends.is_empty() && self.timers.is_empty());
+        self.now = now;
+    }
+
     /// The current virtual time.
     pub fn now(&self) -> Instant {
         self.now
@@ -108,6 +115,12 @@ impl<M> Outbox<M> {
     /// Arms a timer that fires after `delay` with the given id.
     pub fn set_timer(&mut self, delay: Duration, id: u64) {
         self.timers.push((delay, id));
+    }
+}
+
+impl<M> Default for Outbox<M> {
+    fn default() -> Self {
+        Outbox::new(Instant::ZERO)
     }
 }
 
@@ -166,11 +179,13 @@ impl<M> Ord for Event<M> {
 }
 
 struct NodeEntry<M> {
+    id: NodeId,
     node: Box<dyn Node<M>>,
     queue: VecDeque<(NodeId, M, Instant)>,
     busy_cores: usize,
-    /// In-flight jobs keyed by job id (multicore jobs finish out of order).
-    running: HashMap<u64, (NodeId, M)>,
+    /// In-flight jobs tagged by job id (multicore jobs finish out of
+    /// order). At most `cores()` entries, so a linear scan beats hashing.
+    running: Vec<(u64, NodeId, M)>,
     up: bool,
     epoch: u64,
     stats: NodeStats,
@@ -183,6 +198,26 @@ pub struct SimConfig {
     pub max_events: u64,
 }
 
+impl SimConfig {
+    /// Events the cap allows per microsecond of simulated horizon. Real
+    /// workloads in this repo stay under ~2 events/µs even at the highest
+    /// figure rates, so 64 only trips on genuine feedback loops.
+    const EVENTS_PER_US: u64 = 64;
+    /// Fixed allowance so short horizons still permit startup chatter.
+    const SLACK_EVENTS: u64 = 4_000_000;
+
+    /// Derives the runaway-loop cap from the experiment's time horizon
+    /// instead of one hard-wired constant.
+    pub fn for_horizon(horizon: Duration) -> Self {
+        let us = horizon.as_nanos() / 1_000;
+        SimConfig {
+            max_events: us
+                .saturating_mul(Self::EVENTS_PER_US)
+                .saturating_add(Self::SLACK_EVENTS),
+        }
+    }
+}
+
 impl Default for SimConfig {
     fn default() -> Self {
         SimConfig {
@@ -191,6 +226,14 @@ impl Default for SimConfig {
     }
 }
 
+/// Raw node ids the dense index will allocate slots for. The id bands in
+/// use (UE PoP 0, CTAs 1000+, CPFs 100_000+, UPFs 200_000+) stay far
+/// below this; it only guards against accidentally indexing by a huge id.
+const MAX_DENSE_ID: u64 = 1 << 24;
+
+/// Slot sentinel meaning "no node registered at this raw id".
+const NO_SLOT: u32 = u32::MAX;
+
 /// The simulator.
 pub struct Sim<M> {
     now: Instant,
@@ -198,10 +241,19 @@ pub struct Sim<M> {
     job_seq: u64,
     link_seq: u64,
     queue: BinaryHeap<Event<M>>,
-    nodes: HashMap<NodeId, NodeEntry<M>>,
+    /// Dense node slab; slots are assigned in `add_node` order.
+    nodes: Vec<NodeEntry<M>>,
+    /// Sparse raw-id → slot map (`NO_SLOT` = absent). Node ids are banded,
+    /// not sequential, so a direct `Vec` index needs this indirection.
+    slots: Vec<u32>,
     links: Links,
     config: SimConfig,
     events_processed: u64,
+    /// Host time spent inside `run_until`, for events/sec reporting.
+    wall: std::time::Duration,
+    /// Recycled outbox: send/timer buffers are reused across `handle`
+    /// calls instead of being reallocated per event.
+    scratch: Outbox<M>,
 }
 
 impl<M: 'static> Sim<M> {
@@ -218,10 +270,13 @@ impl<M: 'static> Sim<M> {
             job_seq: 0,
             link_seq: 0,
             queue: BinaryHeap::new(),
-            nodes: HashMap::new(),
+            nodes: Vec::new(),
+            slots: Vec::new(),
             links,
             config,
             events_processed: 0,
+            wall: std::time::Duration::ZERO,
+            scratch: Outbox::default(),
         }
     }
 
@@ -235,21 +290,51 @@ impl<M: 'static> Sim<M> {
         self.events_processed
     }
 
+    /// Engine-level throughput counters for this simulation so far.
+    pub fn sim_stats(&self) -> SimStats {
+        SimStats {
+            events_processed: self.events_processed,
+            wall: self.wall,
+        }
+    }
+
+    /// Slot of `id` in the dense slab, if registered.
+    #[inline]
+    fn slot(&self, id: NodeId) -> Option<usize> {
+        match self.slots.get(id.raw() as usize) {
+            Some(&s) if s != NO_SLOT => Some(s as usize),
+            _ => None,
+        }
+    }
+
+    #[inline]
+    fn entry_mut(&mut self, id: NodeId) -> Option<&mut NodeEntry<M>> {
+        let slot = self.slot(id)?;
+        Some(&mut self.nodes[slot])
+    }
+
     /// Registers a node. Panics on duplicate ids.
     pub fn add_node(&mut self, id: NodeId, node: Box<dyn Node<M>>) {
-        let prev = self.nodes.insert(
-            id,
-            NodeEntry {
-                node,
-                queue: VecDeque::new(),
-                busy_cores: 0,
-                running: HashMap::new(),
-                up: true,
-                epoch: 0,
-                stats: NodeStats::default(),
-            },
+        let raw = id.raw();
+        assert!(
+            raw < MAX_DENSE_ID,
+            "node id {id} outside the dense-index range"
         );
-        assert!(prev.is_none(), "duplicate node id {id}");
+        if self.slots.len() <= raw as usize {
+            self.slots.resize(raw as usize + 1, NO_SLOT);
+        }
+        assert!(self.slots[raw as usize] == NO_SLOT, "duplicate node id {id}");
+        self.slots[raw as usize] = self.nodes.len() as u32;
+        self.nodes.push(NodeEntry {
+            id,
+            node,
+            queue: VecDeque::new(),
+            busy_cores: 0,
+            running: Vec::new(),
+            up: true,
+            epoch: 0,
+            stats: NodeStats::default(),
+        });
     }
 
     /// Mutable access to the links table (topology changes mid-run).
@@ -289,27 +374,29 @@ impl<M: 'static> Sim<M> {
 
     /// Whether a node is currently up.
     pub fn is_up(&self, node: NodeId) -> bool {
-        self.nodes.get(&node).map(|n| n.up).unwrap_or(false)
+        self.slot(node).map(|s| self.nodes[s].up).unwrap_or(false)
     }
 
     /// Statistics of a node.
     pub fn stats(&self, node: NodeId) -> Option<&NodeStats> {
-        self.nodes.get(&node).map(|n| &n.stats)
+        self.slot(node).map(|s| &self.nodes[s].stats)
     }
 
     /// Downcasts a node to retrieve results after (or during) a run.
     pub fn node_as<T: 'static>(&mut self, id: NodeId) -> Option<&mut T> {
-        self.nodes.get_mut(&id)?.node.as_any().downcast_mut::<T>()
+        self.entry_mut(id)?.node.as_any().downcast_mut::<T>()
     }
 
-    fn flush_outbox(&mut self, from: NodeId, out: Outbox<M>, epoch: u64) {
+    /// Drains a borrowed outbox into the event queue, leaving its buffers
+    /// empty for reuse.
+    fn flush_outbox(&mut self, from: NodeId, out: &mut Outbox<M>, epoch: u64) {
         let now = out.now;
-        for (to, msg, extra) in out.sends {
+        for (to, msg, extra) in out.sends.drain(..) {
             let delay = self.links.sample_delay(from, to, self.link_seq);
             self.link_seq += 1;
             self.push(now + extra + delay, EventKind::Deliver { to, from, msg });
         }
-        for (delay, id) in out.timers {
+        for (delay, id) in out.timers.drain(..) {
             self.push(
                 now + delay,
                 EventKind::Timer {
@@ -321,12 +408,21 @@ impl<M: 'static> Sim<M> {
         }
     }
 
-    fn try_start_jobs(&mut self, id: NodeId) {
+    /// Runs `entry.node.handle(event)` through the recycled scratch outbox
+    /// and flushes the effects. `slot` must be valid.
+    fn handle_at(&mut self, slot: usize, event: NodeEvent<M>) {
+        let mut out = std::mem::take(&mut self.scratch);
+        out.rearm(self.now);
+        let entry = &mut self.nodes[slot];
+        entry.node.handle(event, &mut out);
+        let (id, epoch) = (entry.id, entry.epoch);
+        self.flush_outbox(id, &mut out, epoch);
+        self.scratch = out;
+    }
+
+    fn try_start_jobs(&mut self, slot: usize) {
         loop {
-            let entry = match self.nodes.get_mut(&id) {
-                Some(e) => e,
-                None => return,
-            };
+            let entry = &mut self.nodes[slot];
             if !entry.up || entry.busy_cores >= entry.node.cores() || entry.queue.is_empty() {
                 return;
             }
@@ -337,41 +433,56 @@ impl<M: 'static> Sim<M> {
             entry.stats.busy += st;
             let job = self.job_seq;
             self.job_seq += 1;
-            entry.running.insert(job, (from, msg));
-            let epoch = entry.epoch;
+            entry.running.push((job, from, msg));
+            let (node, epoch) = (entry.id, entry.epoch);
             let at = self.now + st;
-            self.push(
-                at,
-                EventKind::JobComplete {
-                    node: id,
-                    epoch,
-                    job,
-                },
-            );
+            self.push(at, EventKind::JobComplete { node, epoch, job });
         }
+    }
+
+    /// Diagnostic panic when the event budget trips: reports where the
+    /// simulation was and which node was drowning.
+    fn panic_event_budget(&self, at: Instant) -> ! {
+        let busiest = self
+            .nodes
+            .iter()
+            .max_by_key(|e| e.queue.len())
+            .map(|e| format!("{} with {} queued messages", e.id, e.queue.len()))
+            .unwrap_or_else(|| "no nodes registered".to_string());
+        panic!(
+            "event budget of {} exhausted at virtual time {:.3}ms \
+             ({} events in the heap; deepest backlog: {}) — \
+             runaway feedback loop, or raise SimConfig::max_events",
+            self.config.max_events,
+            at.as_millis_f64(),
+            self.queue.len(),
+            busiest,
+        );
     }
 
     /// Runs until the event queue drains or `deadline` passes. Returns the
     /// time of the last processed event.
     pub fn run_until(&mut self, deadline: Instant) -> Instant {
+        let wall_start = std::time::Instant::now();
         while let Some(ev) = self.queue.peek() {
             if ev.at > deadline {
                 break;
             }
             let ev = self.queue.pop().expect("peeked");
             self.events_processed += 1;
-            assert!(
-                self.events_processed <= self.config.max_events,
-                "event budget exceeded — runaway simulation?"
-            );
+            if self.events_processed > self.config.max_events {
+                self.wall += wall_start.elapsed();
+                self.panic_event_budget(ev.at);
+            }
             debug_assert!(ev.at >= self.now, "time went backwards");
             self.now = ev.at;
             match ev.kind {
                 EventKind::Deliver { to, from, msg } => {
-                    let entry = match self.nodes.get_mut(&to) {
-                        Some(e) => e,
+                    let slot = match self.slot(to) {
+                        Some(s) => s,
                         None => continue, // unknown destination: dropped
                     };
+                    let entry = &mut self.nodes[slot];
                     if !entry.up {
                         entry.stats.dropped_down += 1;
                         continue;
@@ -381,44 +492,43 @@ impl<M: 'static> Sim<M> {
                     if depth > entry.stats.max_queue_depth {
                         entry.stats.max_queue_depth = depth;
                     }
-                    self.try_start_jobs(to);
+                    self.try_start_jobs(slot);
                 }
                 EventKind::JobComplete { node, epoch, job } => {
-                    let entry = match self.nodes.get_mut(&node) {
-                        Some(e) => e,
+                    let slot = match self.slot(node) {
+                        Some(s) => s,
                         None => continue,
                     };
+                    let entry = &mut self.nodes[slot];
                     if entry.epoch != epoch || !entry.up {
                         continue; // stale: node crashed since this job began
                     }
-                    let (from, msg) = entry.running.remove(&job).expect("job was running");
+                    let pos = entry
+                        .running
+                        .iter()
+                        .position(|&(j, _, _)| j == job)
+                        .expect("job was running");
+                    let (_, from, msg) = entry.running.swap_remove(pos);
                     entry.busy_cores -= 1;
                     entry.stats.processed += 1;
-                    let mut out = Outbox::new(self.now);
-                    entry
-                        .node
-                        .handle(NodeEvent::Message { from, msg }, &mut out);
-                    let epoch = entry.epoch;
-                    self.flush_outbox(node, out, epoch);
-                    self.try_start_jobs(node);
+                    self.handle_at(slot, NodeEvent::Message { from, msg });
+                    self.try_start_jobs(slot);
                 }
                 EventKind::Timer { node, id, epoch } => {
-                    let entry = match self.nodes.get_mut(&node) {
-                        Some(e) => e,
+                    let slot = match self.slot(node) {
+                        Some(s) => s,
                         None => continue,
                     };
+                    let entry = &mut self.nodes[slot];
                     if entry.epoch != epoch || !entry.up {
                         continue;
                     }
                     entry.stats.timers += 1;
-                    let mut out = Outbox::new(self.now);
-                    entry.node.handle(NodeEvent::Timer { id }, &mut out);
-                    let epoch = entry.epoch;
-                    self.flush_outbox(node, out, epoch);
-                    self.try_start_jobs(node);
+                    self.handle_at(slot, NodeEvent::Timer { id });
+                    self.try_start_jobs(slot);
                 }
                 EventKind::Crash { node } => {
-                    if let Some(entry) = self.nodes.get_mut(&node) {
+                    if let Some(entry) = self.entry_mut(node) {
                         entry.up = false;
                         entry.epoch += 1;
                         entry.stats.dropped_crash +=
@@ -429,19 +539,18 @@ impl<M: 'static> Sim<M> {
                     }
                 }
                 EventKind::Recover { node } => {
-                    if let Some(entry) = self.nodes.get_mut(&node) {
+                    if let Some(slot) = self.slot(node) {
+                        let entry = &mut self.nodes[slot];
                         if !entry.up {
                             entry.up = true;
                             entry.epoch += 1;
-                            let mut out = Outbox::new(self.now);
-                            entry.node.handle(NodeEvent::Recovered, &mut out);
-                            let epoch = entry.epoch;
-                            self.flush_outbox(node, out, epoch);
+                            self.handle_at(slot, NodeEvent::Recovered);
                         }
                     }
                 }
             }
         }
+        self.wall += wall_start.elapsed();
         self.now
     }
 
@@ -718,6 +827,111 @@ mod tests {
                 seen: Vec::new(),
             }),
         );
+    }
+
+    /// Echo whose service time is the message value in microseconds.
+    struct VarEcho {
+        cores: usize,
+        seen: Vec<u64>,
+    }
+
+    impl Node<u64> for VarEcho {
+        fn service_time(&self, msg: &u64) -> Duration {
+            Duration::from_micros(*msg)
+        }
+        fn handle(&mut self, event: NodeEvent<u64>, _out: &mut Outbox<u64>) {
+            if let NodeEvent::Message { msg, .. } = event {
+                self.seen.push(msg);
+            }
+        }
+        fn cores(&self) -> usize {
+            self.cores
+        }
+        fn as_any(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    #[test]
+    fn multicore_jobs_complete_out_of_submission_order() {
+        let links = Links::with_default(LinkSpec::fixed(Duration::ZERO));
+        let mut sim = Sim::new(links);
+        let b = NodeId::new(2);
+        sim.add_node(b, Box::new(VarEcho { cores: 2, seen: Vec::new() }));
+        // Job 0 takes 100µs, job 1 takes 10µs: both start at t=0 on separate
+        // cores, and the later-submitted job finishes first.
+        sim.inject_at(Instant::ZERO, b, 100);
+        sim.inject_at(Instant::ZERO, b, 10);
+        sim.run_to_completion();
+        let echo = sim.node_as::<VarEcho>(b).unwrap();
+        assert_eq!(echo.seen, vec![10, 100], "completion order, not FIFO");
+    }
+
+    #[test]
+    fn stale_job_completions_dropped_across_epoch_bump() {
+        let links = Links::with_default(LinkSpec::fixed(Duration::ZERO));
+        let mut sim = Sim::new(links);
+        let b = NodeId::new(2);
+        sim.add_node(b, Box::new(VarEcho { cores: 2, seen: Vec::new() }));
+        // Two in-flight jobs: the short one (10µs) completes before the
+        // crash at 50µs, the long one (100µs) is still running and its
+        // completion event must be ignored as stale after the epoch bump.
+        sim.inject_at(Instant::ZERO, b, 100);
+        sim.inject_at(Instant::ZERO, b, 10);
+        sim.crash_at(Instant::from_micros(50), b);
+        sim.recover_at(Instant::from_micros(60), b);
+        // Post-recovery work processes under the new epoch.
+        sim.inject_at(Instant::from_micros(70), b, 5);
+        sim.run_to_completion();
+        let stats = sim.stats(b).unwrap();
+        assert_eq!(stats.processed, 2, "short pre-crash job + post-recovery job");
+        assert_eq!(stats.dropped_crash, 1, "long job was in flight at the crash");
+        let echo = sim.node_as::<VarEcho>(b).unwrap();
+        assert_eq!(echo.seen, vec![10, 5], "stale completion never ran handle");
+        assert!(sim.is_up(b));
+    }
+
+    #[test]
+    fn horizon_derived_budget_scales_with_horizon() {
+        let short = SimConfig::for_horizon(Duration::from_millis(1));
+        let long = SimConfig::for_horizon(Duration::from_secs(10));
+        assert!(short.max_events < long.max_events);
+        // 1ms horizon: 1000µs * 64 + slack.
+        assert_eq!(short.max_events, 1000 * 64 + 4_000_000);
+        // Degenerate horizons still leave room for startup work.
+        assert!(SimConfig::for_horizon(Duration::ZERO).max_events >= 4_000_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "event budget")]
+    fn event_budget_panic_is_descriptive() {
+        let links = Links::with_default(LinkSpec::fixed(Duration::ZERO));
+        let mut sim = Sim::with_config(links, SimConfig { max_events: 4 });
+        let b = NodeId::new(2);
+        sim.add_node(
+            b,
+            Box::new(Echo {
+                service: Duration::from_micros(10),
+                seen: Vec::new(),
+            }),
+        );
+        for i in 0..10 {
+            sim.inject_at(Instant::ZERO, b, i);
+        }
+        sim.run_to_completion();
+    }
+
+    #[test]
+    fn sim_stats_tracks_events_and_wall_clock() {
+        let (mut sim, _a, b) = two_node_sim(Duration::from_micros(5), Duration::from_micros(20));
+        for i in 0..100 {
+            sim.inject_at(Instant::from_micros(i), b, i);
+        }
+        sim.run_to_completion();
+        let stats = sim.sim_stats();
+        assert_eq!(stats.events_processed, sim.events_processed());
+        assert!(stats.events_processed > 100);
+        assert!(stats.events_per_sec() >= 0.0);
     }
 
     #[test]

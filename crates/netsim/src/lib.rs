@@ -32,4 +32,4 @@ pub mod stats;
 
 pub use engine::{Node, NodeEvent, NodeId, Outbox, Sim, SimConfig};
 pub use links::{LinkSpec, Links};
-pub use stats::NodeStats;
+pub use stats::{NodeStats, SimStats};

@@ -43,9 +43,45 @@ impl NodeStats {
     }
 }
 
+/// Engine-level throughput counters: how fast the simulator itself runs,
+/// as opposed to what happens inside the simulated time line.
+///
+/// Not serialized into figure outputs — wall-clock numbers vary run to run
+/// and would break byte-identical result files.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SimStats {
+    /// Events popped from the queue since the simulation was created.
+    pub events_processed: u64,
+    /// Host time spent inside `run_until` across all calls.
+    pub wall: std::time::Duration,
+}
+
+impl SimStats {
+    /// Simulator throughput in events per wall-clock second.
+    pub fn events_per_sec(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs == 0.0 {
+            0.0
+        } else {
+            self.events_processed as f64 / secs
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn events_per_sec_guards_zero_wall() {
+        let s = SimStats::default();
+        assert_eq!(s.events_per_sec(), 0.0);
+        let s = SimStats {
+            events_processed: 1000,
+            wall: std::time::Duration::from_millis(500),
+        };
+        assert!((s.events_per_sec() - 2000.0).abs() < 1e-6);
+    }
 
     #[test]
     fn mean_wait_handles_empty() {

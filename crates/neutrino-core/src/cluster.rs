@@ -9,7 +9,7 @@ use neutrino_cpf::{CpfConfig, CpfCore, CpfMetrics};
 use neutrino_cta::{CtaConfig, CtaCore, CtaMetrics};
 use neutrino_geo::{Deployment, RegionLayout};
 use neutrino_messages::SysMsg;
-use neutrino_netsim::{LinkSpec, Links, Sim};
+use neutrino_netsim::{LinkSpec, Links, Sim, SimConfig};
 use neutrino_upf::UpfCore;
 
 /// The simulator's message type: protocol traffic plus the bootstrap kick
@@ -31,6 +31,10 @@ pub struct LinkProfile {
     pub intra_region: Duration,
     /// Cross-region hops (CPF ↔ level-2 replica CPFs): different edge sites.
     pub inter_region: Duration,
+    /// Maximum deterministic per-hop jitter (uniform in `0..=jitter`,
+    /// re-rolled per [`ExperimentSpec::seed`](crate::experiment::ExperimentSpec::seed)).
+    /// Zero — the default — keeps every link delay exact.
+    pub jitter: Duration,
 }
 
 impl Default for LinkProfile {
@@ -38,6 +42,7 @@ impl Default for LinkProfile {
         LinkProfile {
             intra_region: Duration::from_micros(5),
             inter_region: Duration::from_micros(500),
+            jitter: Duration::ZERO,
         }
     }
 }
@@ -56,17 +61,47 @@ impl Cluster {
     /// UE-population node emulating all UEs and base stations.
     pub fn build(
         config: SystemConfig,
+        layout: RegionLayout,
+        workload: Workload,
+        uecfg: UePopConfig,
+        links_profile: LinkProfile,
+    ) -> Cluster {
+        Self::build_with_sim(
+            config,
+            layout,
+            workload,
+            uecfg,
+            links_profile,
+            SimConfig::default(),
+            0,
+        )
+    }
+
+    /// [`Cluster::build`] with an explicit engine config (runaway-event
+    /// budget) and jitter seed; `run_experiment` derives both per cell.
+    pub fn build_with_sim(
+        config: SystemConfig,
         mut layout: RegionLayout,
         workload: Workload,
         mut uecfg: UePopConfig,
         links_profile: LinkProfile,
+        sim_config: SimConfig,
+        seed: u64,
     ) -> Cluster {
         layout.replicas = config.replicas;
         let deployment = Deployment::build(layout);
 
         // Links: intra-region by default, cross-region overridden.
-        let mut links = Links::with_default(LinkSpec::fixed(links_profile.intra_region));
-        let inter = LinkSpec::fixed(links_profile.inter_region);
+        let jitter = links_profile.jitter;
+        let mut links = Links::with_default(LinkSpec {
+            latency: links_profile.intra_region,
+            jitter,
+        });
+        links.set_seed(seed);
+        let inter = LinkSpec {
+            latency: links_profile.inter_region,
+            jitter,
+        };
         for a in deployment.regions() {
             for b in deployment.regions() {
                 if a.id == b.id {
@@ -80,7 +115,7 @@ impl Cluster {
                 }
             }
         }
-        let mut sim = Sim::new(links);
+        let mut sim = Sim::with_config(links, sim_config);
 
         // UE population. All workload traffic enters through region 0's CTA
         // and CPF pool — the paper's testbed drives one pool of five CPF

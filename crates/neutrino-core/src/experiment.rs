@@ -10,6 +10,8 @@ use neutrino_cpf::CpfMetrics;
 use neutrino_cta::CtaMetrics;
 use neutrino_geo::RegionLayout;
 use neutrino_messages::procedures::ProcedureKind;
+use neutrino_netsim::{SimConfig, SimStats};
+use std::cell::RefCell;
 use std::collections::HashMap;
 
 /// A CPF failure injection.
@@ -38,6 +40,11 @@ pub struct ExperimentSpec {
     pub uecfg: UePopConfig,
     /// Link latencies.
     pub links: LinkProfile,
+    /// Jitter seed: re-rolls every link-delay draw when
+    /// [`LinkProfile::jitter`] is non-zero. Two runs of the same spec and
+    /// seed are bit-identical; seed 0 (the default) reproduces the historic
+    /// unseeded stream, so existing figures are unchanged.
+    pub seed: u64,
 }
 
 impl ExperimentSpec {
@@ -51,8 +58,29 @@ impl ExperimentSpec {
             failures: Vec::new(),
             uecfg: UePopConfig::default(),
             links: LinkProfile::default(),
+            seed: 0,
         }
     }
+}
+
+/// Engine-level perf record of one `run_experiment` call, accumulated in a
+/// thread-local so a sweep worker can attribute simulator throughput to the
+/// figure cell it just executed (cells run wholly on one worker thread).
+#[derive(Debug, Clone, Copy)]
+pub struct RunPerf {
+    /// Events the engine processed during the run.
+    pub events_processed: u64,
+    /// Host time the engine spent inside `run_until`.
+    pub wall: std::time::Duration,
+}
+
+thread_local! {
+    static RUN_PERF: RefCell<Vec<RunPerf>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Drains the calling thread's accumulated per-run perf records.
+pub fn drain_run_perf() -> Vec<RunPerf> {
+    RUN_PERF.with(|p| std::mem::take(&mut *p.borrow_mut()))
 }
 
 /// Results of one run.
@@ -74,6 +102,9 @@ pub struct RunResults {
     pub cta: CtaMetrics,
     /// Aggregated CPF counters.
     pub cpf: CpfMetrics,
+    /// Engine throughput for this run (events processed, wall time). Not
+    /// serialized into figure outputs — wall-clock varies run to run.
+    pub sim: SimStats,
 }
 
 impl RunResults {
@@ -124,13 +155,31 @@ pub fn adapt_workload(config: &SystemConfig, workload: Workload) -> Workload {
 /// need.
 pub fn run_experiment(spec: ExperimentSpec) -> RunResults {
     let workload = adapt_workload(&spec.config, spec.workload);
-    let mut cluster = Cluster::build(spec.config, spec.layout, workload, spec.uecfg, spec.links);
+    // Runaway-loop budget scales with the horizon: a genuine feedback loop
+    // trips it with a descriptive panic (virtual time, heap size, deepest
+    // backlog) instead of the old silent 2B-event stop.
+    let mut cluster = Cluster::build_with_sim(
+        spec.config,
+        spec.layout,
+        workload,
+        spec.uecfg,
+        spec.links,
+        SimConfig::for_horizon(spec.horizon),
+        spec.seed,
+    );
     for f in &spec.failures {
         cluster.fail_cpf_at(f.at, f.cpf);
     }
     // The horizon bounds stragglers (retry loops after unrecoverable
     // failures); the workload itself ends the run in the common case.
     cluster.run_until(Instant::ZERO + spec.horizon);
+    let sim = cluster.sim.sim_stats();
+    RUN_PERF.with(|p| {
+        p.borrow_mut().push(RunPerf {
+            events_processed: sim.events_processed,
+            wall: sim.wall,
+        })
+    });
     let results = cluster.take_results();
     RunResults {
         pct: results.pct,
@@ -141,5 +190,6 @@ pub fn run_experiment(spec: ExperimentSpec) -> RunResults {
         max_log_bytes: cluster.max_log_bytes(),
         cta: cluster.cta_metrics(),
         cpf: cluster.cpf_metrics(),
+        sim,
     }
 }

@@ -1,0 +1,324 @@
+//! Offline stand-in for `serde_derive` (see `third_party/README.md`).
+//!
+//! Derives `Serialize`/`Deserialize` against the local `serde` stand-in's
+//! value-tree model. Parses the item by walking `proc_macro` token trees
+//! directly (no `syn`/`quote` available offline) and emits the impl as a
+//! source string. Supported shapes — the ones this workspace derives on:
+//!
+//! - structs with named fields (serialized as a map in declaration order)
+//! - tuple structs (1 field: transparent newtype; N fields: a sequence)
+//! - enums with only unit variants, honoring
+//!   `#[serde(rename_all = "snake_case")]`
+//!
+//! Generic types and data-carrying enum variants are rejected with a
+//! compile error rather than silently mis-serialized.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// What we learned about the item from its token stream.
+struct Item {
+    name: String,
+    kind: Kind,
+    /// `#[serde(rename_all = "snake_case")]` present on the item.
+    snake_case: bool,
+}
+
+enum Kind {
+    /// Named-field struct: field names in declaration order.
+    Struct(Vec<String>),
+    /// Tuple struct: number of fields.
+    Tuple(usize),
+    /// Enum of unit variants: variant names in declaration order.
+    Enum(Vec<String>),
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = match &item.kind {
+        Kind::Struct(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!("(\"{f}\".to_string(), serde::Serialize::to_value(&self.{f}))")
+                })
+                .collect();
+            format!("serde::Value::Map(vec![{}])", entries.join(", "))
+        }
+        Kind::Tuple(1) => "serde::Serialize::to_value(&self.0)".to_string(),
+        Kind::Tuple(n) => {
+            let entries: Vec<String> = (0..*n)
+                .map(|i| format!("serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("serde::Value::Seq(vec![{}])", entries.join(", "))
+        }
+        Kind::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let name = rename(v, item.snake_case);
+                    format!("{}::{v} => serde::Value::Str(\"{name}\".to_string()),", item.name)
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "impl serde::Serialize for {} {{\n    fn to_value(&self) -> serde::Value {{ {body} }}\n}}",
+        item.name
+    )
+    .parse()
+    .expect("generated Serialize impl should parse")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::Struct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!("{f}: serde::Deserialize::from_value(serde::__field(m, \"{f}\"))?,")
+                })
+                .collect();
+            format!(
+                "let m = v.as_map().ok_or_else(|| serde::DeError::new(\"expected object for {name}\"))?;\n\
+                 Ok({name} {{ {} }})",
+                inits.join(" ")
+            )
+        }
+        Kind::Tuple(1) => format!("Ok({name}(serde::Deserialize::from_value(v)?))"),
+        Kind::Tuple(n) => {
+            let inits: Vec<String> = (0..*n)
+                .map(|i| format!("serde::Deserialize::from_value(&s[{i}])?"))
+                .collect();
+            format!(
+                "let s = v.as_seq().ok_or_else(|| serde::DeError::new(\"expected array for {name}\"))?;\n\
+                 if s.len() != {n} {{ return Err(serde::DeError::new(\"wrong tuple length for {name}\")); }}\n\
+                 Ok({name}({}))",
+                inits.join(", ")
+            )
+        }
+        Kind::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| format!("\"{}\" => Ok({name}::{v}),", rename(v, item.snake_case)))
+                .collect();
+            format!(
+                "let s = v.as_str().ok_or_else(|| serde::DeError::new(\"expected string for {name}\"))?;\n\
+                 match s {{ {} _ => Err(serde::DeError::new(\"unknown {name} variant\")) }}",
+                arms.join(" ")
+            )
+        }
+    };
+    format!(
+        "impl serde::Deserialize for {name} {{\n    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {{ {body} }}\n}}"
+    )
+    .parse()
+    .expect("generated Deserialize impl should parse")
+}
+
+/// `CamelCase` → `snake_case` when `#[serde(rename_all = "snake_case")]`
+/// is present; otherwise the name is used verbatim.
+fn rename(variant: &str, snake_case: bool) -> String {
+    if !snake_case {
+        return variant.to_string();
+    }
+    let mut out = String::with_capacity(variant.len() + 4);
+    for (i, c) in variant.chars().enumerate() {
+        if c.is_ascii_uppercase() {
+            if i > 0 {
+                out.push('_');
+            }
+            out.push(c.to_ascii_lowercase());
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    let mut snake_case = false;
+
+    // Leading attributes: `#[...]`. Scan each for rename_all = "snake_case".
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
+                    if attr_is_snake_case(g.stream()) {
+                        snake_case = true;
+                    }
+                }
+                i += 2;
+            }
+            _ => break,
+        }
+    }
+
+    // Visibility: `pub` optionally followed by `(crate)` / `(super)` etc.
+    if matches!(&tokens[i], TokenTree::Ident(id) if id.to_string() == "pub") {
+        i += 1;
+        if matches!(&tokens[i], TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis) {
+            i += 1;
+        }
+    }
+
+    let keyword = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde stand-in derive: expected struct/enum, found {other}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde stand-in derive: expected item name, found {other}"),
+    };
+    i += 1;
+
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde stand-in derive does not support generic type `{name}`");
+    }
+
+    let kind = match keyword.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Struct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Kind::Tuple(count_tuple_fields(g.stream()))
+            }
+            other => panic!("serde stand-in derive: unsupported struct body for `{name}`: {other:?}"),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Enum(parse_unit_variants(g.stream(), &name))
+            }
+            other => panic!("serde stand-in derive: unsupported enum body for `{name}`: {other:?}"),
+        },
+        other => panic!("serde stand-in derive: unsupported item kind `{other}` for `{name}`"),
+    };
+
+    Item { name, kind, snake_case }
+}
+
+/// True if an attribute body (tokens inside `#[...]`) is
+/// `serde(... rename_all = "snake_case" ...)`.
+fn attr_is_snake_case(body: TokenStream) -> bool {
+    let mut toks = body.into_iter();
+    match toks.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return false,
+    }
+    match toks.next() {
+        Some(TokenTree::Group(g)) => {
+            let text = g.stream().to_string();
+            text.contains("rename_all") && text.contains("snake_case")
+        }
+        _ => false,
+    }
+}
+
+/// Field names of a braced struct body, in declaration order.
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        // Per-field attributes and visibility.
+        loop {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '#' => i += 2,
+                TokenTree::Ident(id) if id.to_string() == "pub" => {
+                    i += 1;
+                    if matches!(&tokens[i], TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis)
+                    {
+                        i += 1;
+                    }
+                }
+                _ => break,
+            }
+        }
+        match &tokens[i] {
+            TokenTree::Ident(id) => fields.push(id.to_string()),
+            other => panic!("serde stand-in derive: expected field name, found {other}"),
+        }
+        i += 1;
+        // `:` then the type, up to the next comma outside angle brackets.
+        debug_assert!(matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == ':'));
+        i += 1;
+        let mut depth = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    fields
+}
+
+/// Number of top-level fields in a tuple-struct body.
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut depth = 0i32;
+    let mut trailing_comma = false;
+    for (idx, t) in tokens.iter().enumerate() {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                if idx == tokens.len() - 1 {
+                    trailing_comma = true;
+                } else {
+                    count += 1;
+                }
+            }
+            _ => {}
+        }
+    }
+    let _ = trailing_comma;
+    count
+}
+
+/// Variant names of an all-unit-variant enum body.
+fn parse_unit_variants(body: TokenStream, enum_name: &str) -> Vec<String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        while matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == '#') {
+            i += 2;
+        }
+        match &tokens[i] {
+            TokenTree::Ident(id) => variants.push(id.to_string()),
+            other => panic!("serde stand-in derive: expected variant name in `{enum_name}`, found {other}"),
+        }
+        i += 1;
+        match tokens.get(i) {
+            None => break,
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => i += 1,
+            Some(TokenTree::Group(_)) => panic!(
+                "serde stand-in derive: enum `{enum_name}` has a data-carrying variant, which is unsupported"
+            ),
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => panic!(
+                "serde stand-in derive: enum `{enum_name}` has an explicit discriminant, which is unsupported"
+            ),
+            Some(other) => panic!("serde stand-in derive: unexpected token in `{enum_name}`: {other}"),
+        }
+    }
+    variants
+}
