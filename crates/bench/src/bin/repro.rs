@@ -8,6 +8,7 @@
 //! cargo run -p neutrino-bench --bin repro --release -- all --json out.json
 //! cargo run -p neutrino-bench --bin repro --release -- all --jobs 8  # worker count
 //! cargo run -p neutrino-bench --bin repro --release -- all --bench-out BENCH_netsim.json
+//! cargo run -p neutrino-bench --bin repro --release -- fig10 --faults  # lossy links
 //! ```
 //!
 //! Figure cells run across a worker pool (`--jobs N`, default: all host
@@ -61,6 +62,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
     let huge = args.iter().any(|a| a == "--huge");
+    let faults = args.iter().any(|a| a == "--faults");
     let flag_value = |flag: &str| {
         args.iter()
             .position(|a| a == flag)
@@ -115,6 +117,7 @@ fn main() {
                 burst::fig9(profile, huge),
                 &mut json,
             ),
+            "fig10" if faults => run_fig10_faults(profile, &mut json),
             "fig10" => run_pct_fig(
                 "Fig. 10: handover PCT under CPF failure",
                 "fig10",
@@ -318,6 +321,31 @@ fn run_pct_fig(
         }
     }
     json.insert(key.to_string(), serde_json::to_value(&points).expect("ser"));
+}
+
+/// Fig. 10 under seeded link faults (`--faults`): the failure figure with
+/// every link dropping/duplicating/reordering per the paper fault profile,
+/// plus the per-cell consistency-audit verdict. Neutrino rows must report
+/// zero divergences; re-attach baselines report their inconsistency windows.
+fn run_fig10_faults(profile: Profile, json: &mut BTreeMap<String, serde_json::Value>) {
+    render::header("Fig. 10 (faulty links): handover PCT under CPF failure + link faults");
+    let points = failure::fig10_with(profile, failure::paper_fault_profile());
+    for p in &points {
+        render::pct_row(&format_x(p.x), &p.system, &p.summary);
+        println!(
+            "            audit: passes={} ues={} divergences={}  retx={} resyncs={} failed={}",
+            p.audit_passes,
+            p.audit_ues_checked,
+            p.audit_divergences,
+            p.retransmissions,
+            p.resyncs_requested,
+            p.failed_procedures
+        );
+    }
+    json.insert(
+        "fig10_faults".into(),
+        serde_json::to_value(&points).expect("ser"),
+    );
 }
 
 fn run_drive_fig(

@@ -43,6 +43,38 @@ fn probes_on_victim(
     (victim, probes)
 }
 
+/// Everything one failure cell produces beyond the PCT distribution:
+/// retry/resync activity and the consistency-audit outcome.
+#[derive(Debug)]
+pub struct FailureOutcome {
+    /// Probe PCT distribution (the figure's y-axis).
+    pub pct: Percentiles,
+    /// Audit passes executed (one per failure + one final).
+    pub audit_passes: u64,
+    /// Total divergences across all audit passes — must be 0 for Neutrino.
+    pub audit_divergences: u64,
+    /// UE records checked across all audit passes.
+    pub audit_ues_checked: u64,
+    /// S1AP retransmissions the UE population sent.
+    pub retransmissions: u64,
+    /// Checkpoint resends the CTA requested.
+    pub resyncs_requested: u64,
+    /// Procedures that never finished (incomplete + ACK-timeout pruned).
+    pub failed_procedures: u64,
+}
+
+/// The fault profile failure figures run under `repro --faults`: the
+/// paper's failover experiments assume a lossy edge WAN, so every link
+/// drops 1% of messages, duplicates 0.5%, and reorders 2% within 200 µs.
+pub fn paper_fault_profile() -> neutrino_netsim::FaultSpec {
+    neutrino_netsim::FaultSpec {
+        loss: 0.01,
+        duplicate: 0.005,
+        reorder: 0.02,
+        reorder_window: Duration::from_micros(200),
+    }
+}
+
 /// One cell: handover PCT distribution of the probes under failure.
 pub fn failure_cell(config: SystemConfig, rate_pps: u64, duration: Duration) -> Percentiles {
     failure_cell_links(
@@ -60,6 +92,17 @@ pub fn failure_cell_links(
     duration: Duration,
     links: neutrino_core::LinkProfile,
 ) -> Percentiles {
+    failure_cell_outcome(config, rate_pps, duration, links).pct
+}
+
+/// [`failure_cell_links`] returning the full [`FailureOutcome`] (audit and
+/// retry counters included).
+pub fn failure_cell_outcome(
+    config: SystemConfig,
+    rate_pps: u64,
+    duration: Duration,
+    links: neutrino_core::LinkProfile,
+) -> FailureOutcome {
     let layout = RegionLayout::default();
     let pool = UniformParams::pool_for_rate(rate_pps);
     let (victim, probes) = probes_on_victim(&config, layout, pool, PROBES);
@@ -112,7 +155,16 @@ pub fn failure_cell_links(
             pct.push(w.end.saturating_since(w.start).as_millis_f64());
         }
     }
-    pct
+    let audit = results.audit.as_ref();
+    FailureOutcome {
+        pct,
+        audit_passes: audit.map(|a| a.passes).unwrap_or(0),
+        audit_divergences: audit.map(|a| a.divergences.len() as u64).unwrap_or(0),
+        audit_ues_checked: audit.map(|a| a.ues_checked).unwrap_or(0),
+        retransmissions: results.retransmissions,
+        resyncs_requested: results.cta.resyncs_requested,
+        failed_procedures: results.failed_procedures,
+    }
 }
 
 /// Fig. 10: handover PCT under failure, 40K–160K PPS, EPC vs Neutrino.
@@ -126,6 +178,64 @@ pub fn fig10(profile: Profile) -> Vec<PctPoint> {
                 x: rate,
                 system: config.name.to_string(),
                 summary: failure_cell(config, rate, duration).summary(),
+            }));
+        }
+    }
+    run_cells(cells)
+}
+
+/// One point of the fault-injected failure figure: the PCT summary plus the
+/// consistency-audit outcome and retry activity of the cell.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct FailurePoint {
+    /// Background handover rate (procedures/second).
+    pub x: u64,
+    /// System name.
+    pub system: String,
+    /// Probe PCT summary (milliseconds).
+    pub summary: neutrino_common::stats::Summary,
+    /// Audit passes executed for the cell.
+    pub audit_passes: u64,
+    /// Divergences across all audit passes (0 = consistent throughout).
+    pub audit_divergences: u64,
+    /// UE records checked across all audit passes.
+    pub audit_ues_checked: u64,
+    /// S1AP retransmissions the UE population sent.
+    pub retransmissions: u64,
+    /// Checkpoint resends the CTA requested.
+    pub resyncs_requested: u64,
+    /// Procedures that never finished (incomplete + ACK-timeout pruned).
+    pub failed_procedures: u64,
+}
+
+/// [`fig10`] under seeded link faults: every link additionally drops,
+/// duplicates, and reorders messages per `faults`. Neutrino cells must
+/// audit clean; re-attach baselines report their inconsistency windows as
+/// nonzero divergence counts.
+pub fn fig10_with(profile: Profile, faults: neutrino_netsim::FaultSpec) -> Vec<FailurePoint> {
+    let rates = profile.rates(&[40_000, 60_000, 80_000, 100_000, 120_000, 140_000, 160_000]);
+    let duration = Duration::from_millis(profile.duration_ms());
+    let links = neutrino_core::LinkProfile {
+        faults,
+        ..neutrino_core::LinkProfile::default()
+    };
+    let mut cells: Vec<Cell<FailurePoint>> = Vec::new();
+    for &rate in &rates {
+        for config in [SystemConfig::existing_epc(), SystemConfig::neutrino()] {
+            cells.push(Box::new(move || {
+                let name = config.name;
+                let mut o = failure_cell_outcome(config, rate, duration, links);
+                FailurePoint {
+                    x: rate,
+                    system: name.to_string(),
+                    summary: o.pct.summary(),
+                    audit_passes: o.audit_passes,
+                    audit_divergences: o.audit_divergences,
+                    audit_ues_checked: o.audit_ues_checked,
+                    retransmissions: o.retransmissions,
+                    resyncs_requested: o.resyncs_requested,
+                    failed_procedures: o.failed_procedures,
+                }
             }));
         }
     }

@@ -159,6 +159,11 @@ pub struct CpfMetrics {
     /// Paging requests dropped for lack of consistent UE state — the §3.1
     /// reachability disruption.
     pub pages_failed: u64,
+    /// Checkpoints re-sent after a CTA resync request (lost sync or ACK).
+    pub resyncs_answered: u64,
+    /// Duplicate uplinks that triggered a lost-downlink recovery (re-sent
+    /// the pending S11 / migration sync / downlink steps).
+    pub dup_uplink_nudges: u64,
 }
 
 /// What the CPF is waiting on before continuing a procedure.
@@ -279,11 +284,25 @@ impl CpfCore {
             SysMsg::S11Resp(resp) => self.on_s11_resp(resp),
             SysMsg::DdnRequest { ue, .. } => self.on_ddn(ue),
             SysMsg::MigrationAck { ue } => self.on_migration_ack(ue),
+            SysMsg::ResyncRequest { ue, procedure, cta } => self.on_resync(ue, procedure, cta),
+            SysMsg::CpfFailure { cpf } => self.on_peer_failure(cpf),
             other => {
                 debug_assert!(false, "CPF received unexpected {}", other.label());
                 Vec::new()
             }
         }
+    }
+
+    /// Membership notice: a peer CPF crashed. Take it off this CPF's ring
+    /// view so checkpoints target the ring's *live* successor set — without
+    /// this, primaries keep syncing to the dead peer while the CTA (whose
+    /// ring was updated) expects ACKs from the new backup, and the two views
+    /// never reconcile.
+    pub fn on_peer_failure(&mut self, cpf: CpfId) -> Vec<CpfOutput> {
+        if let Some(ring) = &mut self.config.ring {
+            ring.remove(cpf);
+        }
+        Vec::new()
     }
 
     /// Processes one live uplink control message.
@@ -370,7 +389,22 @@ impl CpfCore {
                 .position(|s| s.direction == Direction::Uplink && s.kind == env.msg.kind());
             match pos {
                 Some(rel) => progress.next_step += rel + 1,
-                None => return out, // duplicate/out-of-order: ignore
+                None => {
+                    // Not the message the cursor expects. If it duplicates an
+                    // uplink step we already consumed, the UE is
+                    // retransmitting because our follow-up got lost:
+                    // re-issue it (pending S11, migration sync, or the
+                    // downlink replies) without re-running state mutations.
+                    // Anything else is out-of-order noise.
+                    let matched = template.steps[..progress.next_step]
+                        .iter()
+                        .rposition(|s| s.direction == Direction::Uplink && s.kind == env.msg.kind());
+                    if let (Some(idx), false) = (matched, replaying) {
+                        self.metrics.dup_uplink_nudges += 1;
+                        out.extend(self.nudge(ue, idx));
+                    }
+                    return out;
+                }
             }
             progress.last_ul_clock = env.clock;
             progress.waiting = None;
@@ -677,6 +711,104 @@ impl CpfCore {
             }
         }
         Vec::new()
+    }
+
+    /// CTA → primary: a completed procedure's checkpoint is missing replica
+    /// ACKs (lost sync or lost ACK) — re-send it. The *current* stored
+    /// version is re-checkpointed; cumulative ACKs at the CTA make it cover
+    /// the requested procedure and everything before it.
+    pub fn on_resync(&mut self, ue: UeId, procedure: ProcedureId, cta: CtaId) -> Vec<CpfOutput> {
+        let version = match self.store.get(ue) {
+            Some(rec) if rec.state.version.procedure >= procedure => rec.state.version,
+            _ => return Vec::new(),
+        };
+        self.metrics.resyncs_answered += 1;
+        self.checkpoint(ue, version.procedure, version.clock, cta)
+    }
+
+    /// Lost-downlink recovery: the UE retransmitted an uplink we already
+    /// consumed (template step `matched_step` of its current procedure).
+    /// Re-issue whatever followed it — the in-flight S11, the in-flight
+    /// migration sync, or the downlink steps up to the cursor — rebuilt
+    /// deterministically, with no state mutation and no cursor movement.
+    fn nudge(&self, ue: UeId, matched_step: usize) -> Vec<CpfOutput> {
+        let progress = match self.progress.get(&ue) {
+            Some(p) => p,
+            None => return Vec::new(),
+        };
+        match progress.waiting {
+            Some(Waiting::Upf { step }) => {
+                // Re-send the pending S11; session operations are idempotent
+                // at the UPF.
+                let kind = progress.kind;
+                let op = session_op(kind, kind.template().steps[step].kind);
+                let session = self.store.get(ue).and_then(|r| r.state.session);
+                let upf = self
+                    .store
+                    .get(ue)
+                    .map(|r| r.state.serving_upf)
+                    .unwrap_or_else(|| self.upf_for(ue));
+                vec![CpfOutput::ToUpf {
+                    upf,
+                    msg: SysMsg::S11(S11Request {
+                        ue,
+                        cpf: self.config.id,
+                        op,
+                        session,
+                    }),
+                }]
+            }
+            Some(Waiting::Migration { .. }) => {
+                // Re-send the migration sync; adoption is version-gated at
+                // the target, so a duplicate is harmless and its ACK
+                // unblocks the handover.
+                let (procedure, cta, clock) =
+                    (progress.procedure, progress.cta, progress.last_ul_clock);
+                match (self.migration_target(ue), self.store.get(ue)) {
+                    (Some(target), Some(rec)) => vec![CpfOutput::ToCpf {
+                        cpf: target,
+                        msg: SysMsg::StateSync(StateSync {
+                            ue,
+                            primary: self.config.id,
+                            cta,
+                            state: rec.state.clone(),
+                            procedure,
+                            end_clock: clock,
+                            purpose: SyncPurpose::Migration,
+                        }),
+                    }],
+                    _ => Vec::new(),
+                }
+            }
+            None => {
+                // The downlink(s) between the matched step and the cursor
+                // were lost in flight: rebuild and re-send them.
+                let template = progress.kind.template();
+                let mut out = Vec::new();
+                for idx in (matched_step + 1)..progress.next_step.min(template.steps.len()) {
+                    let step = template.steps[idx];
+                    if step.direction != Direction::Downlink {
+                        continue;
+                    }
+                    let mut env = Envelope::downlink(
+                        ue,
+                        progress.procedure,
+                        progress.kind,
+                        build_downlink(step.kind, ue),
+                    )
+                    .from_bs(progress.bs);
+                    env.via_cta = Some(progress.cta);
+                    if idx + 1 == template.steps.len() {
+                        env = env.ending_procedure();
+                    }
+                    out.push(CpfOutput::ToCta {
+                        cta: progress.cta,
+                        msg: SysMsg::Control(env),
+                    });
+                }
+                out
+            }
+        }
     }
 
     /// Continues a procedure after its UPF round trip.
@@ -1242,6 +1374,144 @@ mod tests {
             }
         )));
         assert_eq!(cpf.metrics().syncs_sent, 0);
+    }
+
+    #[test]
+    fn resync_request_re_checkpoints_current_version() {
+        let mut cpf = neutrino_cpf(0);
+        run_attach(&mut cpf, 7, 1, 10);
+        // The CTA lost the ACKs for procedure 1 and asks again.
+        let outs = cpf.handle(SysMsg::ResyncRequest {
+            ue: UeId::new(7),
+            procedure: ProcedureId::new(1),
+            cta: CtaId::new(0),
+        });
+        let syncs: Vec<_> = outs
+            .iter()
+            .filter_map(|o| match o {
+                CpfOutput::ToCpf {
+                    msg: SysMsg::StateSync(s),
+                    ..
+                } => Some(s.clone()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(syncs.len(), 2, "re-checkpoint to both backups");
+        for s in &syncs {
+            assert_eq!(s.procedure, ProcedureId::new(1));
+            assert_eq!(s.end_clock, ClockTick(14));
+            assert_eq!(s.purpose, SyncPurpose::Checkpoint);
+        }
+        assert_eq!(cpf.metrics().resyncs_answered, 1);
+        // A resync for a UE we know nothing about is ignored.
+        let outs = cpf.handle(SysMsg::ResyncRequest {
+            ue: UeId::new(99),
+            procedure: ProcedureId::new(1),
+            cta: CtaId::new(0),
+        });
+        assert!(outs.is_empty());
+        assert_eq!(cpf.metrics().resyncs_answered, 1);
+    }
+
+    #[test]
+    fn duplicate_uplink_re_emits_lost_downlink() {
+        let mut cpf = neutrino_cpf(0);
+        run_attach(&mut cpf, 7, 1, 10);
+        let outs = cpf.on_control(ul(
+            7,
+            2,
+            ProcedureKind::ServiceRequest,
+            MessageKind::ServiceRequest,
+            20,
+        ));
+        assert!(outs.iter().any(|o| matches!(
+            o,
+            CpfOutput::ToCta { msg: SysMsg::Control(e), .. }
+                if e.msg.kind() == MessageKind::InitialContextSetupRequest
+        )));
+        // The UE never saw the ICS Request and retransmits its Service
+        // Request: the CPF must re-send the ICS Request, not stall.
+        let outs = cpf.on_control(ul(
+            7,
+            2,
+            ProcedureKind::ServiceRequest,
+            MessageKind::ServiceRequest,
+            20,
+        ));
+        assert!(outs.iter().any(|o| matches!(
+            o,
+            CpfOutput::ToCta { msg: SysMsg::Control(e), .. }
+                if e.msg.kind() == MessageKind::InitialContextSetupRequest
+        )));
+        assert_eq!(cpf.metrics().dup_uplink_nudges, 1);
+        // The retransmission must not have advanced the cursor: the real
+        // setup response still completes the procedure.
+        let completed_before = cpf.metrics().completed;
+        cpf.on_control(ul(
+            7,
+            2,
+            ProcedureKind::ServiceRequest,
+            MessageKind::InitialContextSetupResponse,
+            21,
+        ));
+        assert_eq!(cpf.metrics().completed, completed_before + 1);
+    }
+
+    #[test]
+    fn duplicate_uplink_resends_pending_s11() {
+        let mut cpf = neutrino_cpf(0);
+        cpf.on_control(ul(
+            7,
+            1,
+            ProcedureKind::InitialAttach,
+            MessageKind::InitialUeMessage,
+            10,
+        ));
+        cpf.on_control(ul(
+            7,
+            1,
+            ProcedureKind::InitialAttach,
+            MessageKind::AuthenticationResponse,
+            11,
+        ));
+        let outs = cpf.on_control(ul(
+            7,
+            1,
+            ProcedureKind::InitialAttach,
+            MessageKind::SecurityModeComplete,
+            12,
+        ));
+        assert!(outs.iter().any(|o| matches!(
+            o,
+            CpfOutput::ToUpf { msg: SysMsg::S11(r), .. } if r.op == SessionOp::Create
+        )));
+        // The S11 (or its response) was lost; the UE retransmits. The CPF is
+        // still waiting on the UPF and must re-issue the create.
+        let outs = cpf.on_control(ul(
+            7,
+            1,
+            ProcedureKind::InitialAttach,
+            MessageKind::SecurityModeComplete,
+            12,
+        ));
+        assert!(outs.iter().any(|o| matches!(
+            o,
+            CpfOutput::ToUpf { msg: SysMsg::S11(r), .. } if r.op == SessionOp::Create
+        )));
+        assert_eq!(cpf.metrics().dup_uplink_nudges, 1);
+        // The (possibly duplicate) UPF answer still resumes the procedure.
+        let outs = cpf.on_s11_resp(S11Response {
+            ue: UeId::new(7),
+            op: SessionOp::Create,
+            upf: UpfId::new(1),
+            session: Some(neutrino_common::SessionId::new(7)),
+            ok: true,
+        });
+        assert!(outs.iter().any(|o| matches!(
+            o,
+            CpfOutput::ToCta { msg: SysMsg::Control(e), .. }
+                if e.msg.kind() == MessageKind::InitialContextSetupRequest
+        )));
     }
 
     #[test]

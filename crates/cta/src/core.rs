@@ -38,6 +38,10 @@ pub struct CtaConfig {
     /// How long to wait for replica ACKs before declaring them outdated
     /// (§4.2.4 uses 30 s).
     pub ack_timeout: Duration,
+    /// Base delay before a completed-but-unACKed procedure's checkpoint is
+    /// re-requested from the primary. Doubles per attempt (exponential
+    /// backoff) until [`CtaConfig::ack_timeout`] prunes the procedure.
+    pub resync_base: Duration,
     /// The codec in use — determines the wire size the log charges per
     /// message.
     pub codec: CodecKind,
@@ -52,6 +56,7 @@ impl CtaConfig {
             logging: true,
             failover: FailoverPolicy::ReplayFromLog,
             ack_timeout: Duration::from_secs(30),
+            resync_base: Duration::from_secs(4),
             codec,
         }
     }
@@ -63,6 +68,7 @@ impl CtaConfig {
             logging: false,
             failover: FailoverPolicy::ReAttach,
             ack_timeout: Duration::from_secs(30),
+            resync_base: Duration::from_secs(4),
             codec: CodecKind::Asn1Per,
         }
     }
@@ -104,6 +110,9 @@ pub struct CtaMetrics {
     pub outdated_notices: u64,
     /// Procedures pruned by the ACK timeout scan.
     pub timeout_pruned: u64,
+    /// Checkpoint resends requested from primaries (exponential backoff)
+    /// for completed procedures still missing replica ACKs.
+    pub resyncs_requested: u64,
 }
 
 /// The Control Traffic Aggregator state machine.
@@ -149,6 +158,21 @@ impl CtaCore {
     /// Counters.
     pub fn metrics(&self) -> CtaMetrics {
         self.metrics
+    }
+
+    /// Read-only view of the message log (consistency auditing).
+    pub fn log(&self) -> &MessageLog {
+        &self.log
+    }
+
+    /// The sticky UE → primary assignments (consistency auditing).
+    pub fn assignments(&self) -> &HashMap<UeId, CpfId> {
+        &self.assigned
+    }
+
+    /// Whether `cpf` is known to have failed.
+    pub fn is_failed(&self, cpf: CpfId) -> bool {
+        self.failed.contains(&cpf)
     }
 
     /// Current log footprint in bytes.
@@ -351,6 +375,13 @@ impl CtaCore {
         }
         self.failed.insert(cpf);
         self.ring.remove(cpf);
+        // The dead CPF's copies died with it: drop its ACKs so they never
+        // count toward convergence or get offered as fetch sources.
+        self.log.purge_replica_acks(cpf);
+        // Backup sets shift for every UE whose successor list held the dead
+        // CPF; stale cache entries would make `expected_ack_set` disagree
+        // with what primaries (whose rings get the same removal) now sync.
+        self.backups_cache.clear();
         // The log map iterates in arbitrary (hash) order; recover UEs in id
         // order so every run emits the same failover message sequence.
         stuck.sort_unstable_by_key(|env| env.ue);
@@ -424,22 +455,94 @@ impl CtaCore {
     }
 
     /// The ACK-timeout scan (§4.2.4 step 1): run periodically by the driver.
+    ///
+    /// Before a procedure's ACKs time out entirely, the scan asks the UE's
+    /// primary to re-send the checkpoint (a lost `StateSync` or `SyncAck`
+    /// otherwise leaves the replicas permanently behind), backing off
+    /// exponentially from [`CtaConfig::resync_base`] per attempt.
     pub fn scan(&mut self, now: Instant) -> Vec<CtaOutput> {
         let timeout = self.config.ack_timeout;
-        let mut expired: Vec<(UeId, ProcedureId)> = Vec::new();
+        let base = self.config.resync_base.as_nanos();
+        let mut completed: Vec<(UeId, ProcedureId, Instant, u32)> = Vec::new();
         for (ue, ue_log) in self.log.ues() {
             for (proc, entry) in &ue_log.procedures {
                 if let Some(done) = entry.completed_at {
-                    if done + timeout <= now {
-                        expired.push((*ue, *proc));
-                    }
+                    completed.push((*ue, *proc, done, entry.resync_attempts));
                 }
             }
         }
-        // Hash-order scan: prune in (ue, procedure) order so the notice
+        // Hash-order scan: act in (ue, procedure) order so the message
         // sequence is identical on every run.
-        expired.sort_unstable();
+        completed.sort_unstable();
+        let mut expired: Vec<(UeId, ProcedureId)> = Vec::new();
+        let mut lagging: Vec<(UeId, ProcedureId)> = Vec::new();
+        for (ue, proc, done, attempts) in completed {
+            // Converged sweep: after a failover the expected-ACK set can
+            // shrink or shift *after* the ACKs arrived, so `ack()` never got
+            // a chance to prune. Enough distinct live replicas holding the
+            // state is convergence regardless of which ring slots they sit
+            // on — drop the entry without chasing or counting a timeout.
+            let expected = self.expected_ack_set(ue);
+            let converged = !expected.is_empty()
+                && self
+                    .log
+                    .ue(ue)
+                    .and_then(|l| l.procedures.get(&proc))
+                    .is_some_and(|e| {
+                        expected.iter().all(|r| e.acks.contains(r))
+                            || e.acks.len() >= expected.len()
+                    });
+            if converged {
+                self.log.drop_procedure(ue, proc);
+                continue;
+            }
+            if done + timeout <= now {
+                expired.push((ue, proc));
+            } else if base > 0 {
+                let wait = Duration::from_nanos(base.saturating_mul(1u64 << attempts.min(20)));
+                if done + wait <= now {
+                    lagging.push((ue, proc));
+                }
+            }
+        }
         let mut out = Vec::new();
+        let mut asked: HashSet<UeId> = HashSet::new();
+        // `lagging` is (ue, proc)-sorted, so the *last* entry per UE is its
+        // highest pending procedure; cumulative ACKs make one re-checkpoint
+        // of the current state cover every earlier procedure too. Bump the
+        // backoff on all of them, but send one request per UE.
+        for i in 0..lagging.len() {
+            let (ue, proc) = lagging[i];
+            let expected = self.expected_ack_set(ue);
+            let entry = match self.log.ue(ue).and_then(|l| l.procedures.get(&proc)) {
+                Some(e) => e,
+                None => continue,
+            };
+            if expected.is_empty() || expected.iter().all(|r| entry.acks.contains(r)) {
+                continue; // nothing to chase (the timeout will reap it)
+            }
+            if let Some(e) = self.log.ue_mut(ue).procedures.get_mut(&proc) {
+                e.resync_attempts += 1;
+            }
+            let last_for_ue = lagging[i + 1..].iter().all(|(u, _)| *u != ue);
+            if !last_for_ue || asked.contains(&ue) {
+                continue;
+            }
+            let primary = match self.primary_for(ue) {
+                Some(p) if !self.failed.contains(&p) => p,
+                _ => continue, // failover will rebuild state instead
+            };
+            asked.insert(ue);
+            self.metrics.resyncs_requested += 1;
+            out.push(CtaOutput::ToCpf {
+                cpf: primary,
+                msg: SysMsg::ResyncRequest {
+                    ue,
+                    procedure: proc,
+                    cta: self.config.id,
+                },
+            });
+        }
         for (ue, proc) in expired {
             out.extend(self.notify_outdated(ue, proc));
             self.log.drop_procedure(ue, proc);
@@ -830,8 +933,16 @@ mod tests {
             },
             Instant::ZERO,
         );
-        // Before the timeout: nothing.
-        assert!(c.scan(Instant::from_secs(10)).is_empty());
+        // Before the timeout: only a resync request to the primary, no
+        // MarkOutdated yet, log intact.
+        let early = c.scan(Instant::from_secs(10));
+        assert!(early.iter().all(|o| matches!(
+            o,
+            CtaOutput::ToCpf {
+                msg: SysMsg::ResyncRequest { .. },
+                ..
+            }
+        )));
         assert!(c.log_bytes() > 0);
         // After the timeout: MarkOutdated to the laggard, log dropped.
         let outs = c.scan(Instant::from_secs(31));
@@ -850,6 +961,44 @@ mod tests {
         assert!(notices[0].1.up_to_date.contains(&backups[0]));
         assert_eq!(c.log_bytes(), 0);
         assert_eq!(c.metrics().timeout_pruned, 1);
+    }
+
+    #[test]
+    fn scan_requests_resync_with_exponential_backoff() {
+        let mut c = cta();
+        let ue = UeId::new(3);
+        c.on_uplink(ul(3, 1, MessageKind::ServiceRequest, true), Instant::ZERO);
+        let primary = c.primary_for(ue).unwrap();
+        // Too early: the base backoff (4s) has not elapsed.
+        assert!(c.scan(Instant::from_secs(2)).is_empty());
+        // First request fires after the base delay, aimed at the primary.
+        let outs = c.scan(Instant::from_secs(5));
+        assert!(
+            outs.iter().any(|o| matches!(
+                o,
+                CtaOutput::ToCpf { cpf, msg: SysMsg::ResyncRequest { ue: u, .. } }
+                    if *cpf == primary && *u == ue
+            )),
+            "expected a resync request: {outs:?}"
+        );
+        // Backoff doubled to 8s from completion: quiet at 6s, fires by 9s.
+        assert!(c.scan(Instant::from_secs(6)).is_empty());
+        assert!(!c.scan(Instant::from_secs(9)).is_empty());
+        assert_eq!(c.metrics().resyncs_requested, 2);
+        // Once every expected replica ACKs, the chase stops.
+        for b in c.backups_for(ue) {
+            c.on_sync_ack(
+                SyncAck {
+                    ue,
+                    replica: b,
+                    procedure: ProcedureId::new(1),
+                    end_clock: ClockTick(1),
+                },
+                Instant::ZERO,
+            );
+        }
+        assert!(c.scan(Instant::from_secs(20)).is_empty());
+        assert_eq!(c.log_bytes(), 0);
     }
 
     #[test]

@@ -26,6 +26,9 @@ pub struct ProcedureLog {
     pub completed_at: Option<Instant>,
     /// When the first message was logged.
     pub started_at: Instant,
+    /// Checkpoint resend requests issued for this procedure (exponential
+    /// backoff: the next resend waits `base << resync_attempts`).
+    pub resync_attempts: u32,
 }
 
 impl ProcedureLog {
@@ -37,6 +40,7 @@ impl ProcedureLog {
             acks: HashSet::new(),
             completed_at: None,
             started_at: now,
+            resync_attempts: 0,
         }
     }
 }
@@ -135,8 +139,20 @@ impl MessageLog {
         entry.completed_at = Some(now);
     }
 
-    /// Records a replica ACK; prunes the procedure's messages once every
-    /// expected replica has ACKed. Returns `true` when pruning happened.
+    /// Records a replica ACK; prunes the procedure's messages once the
+    /// checkpoint is durable enough. Returns `true` when pruning happened.
+    ///
+    /// ACKs are **cumulative**: a checkpoint carries the UE's full state,
+    /// so a replica ACKing procedure `proc` is synced through every earlier
+    /// procedure too — the ACK is recorded on (and may prune) all still-
+    /// logged entries up to and including `proc`. That makes a single
+    /// resync round converge even after earlier SyncAcks were lost.
+    ///
+    /// A procedure counts as converged when every replica in `expected` has
+    /// ACKed **or** when at least `expected.len()` distinct replicas have —
+    /// after a failover the acting primary may checkpoint to a different
+    /// (but equally durable) replica set than the ring now predicts, and
+    /// identity-matching alone would chase ACKs that can never come.
     pub fn ack(&mut self, ue: UeId, proc: ProcedureId, replica: CpfId, expected: &[CpfId]) -> bool {
         let ue_log = self.ues.entry(ue).or_default();
         let prev = ue_log
@@ -146,18 +162,41 @@ impl MessageLog {
         if proc > *prev {
             *prev = proc;
         }
-        let entry = match ue_log.procedures.get_mut(&proc) {
-            Some(e) => e,
-            None => return false, // already pruned
-        };
-        entry.acks.insert(replica);
-        if !expected.is_empty() && expected.iter().all(|r| entry.acks.contains(r)) {
-            let freed = entry.bytes;
-            ue_log.procedures.remove(&proc);
-            self.bytes -= freed;
-            true
-        } else {
-            false
+        // Earlier procedures count only once completed (an in-flight
+        // predecessor still needs its messages for replay); the ACKed
+        // procedure itself counts unconditionally, as before.
+        let covered: Vec<ProcedureId> = ue_log
+            .procedures
+            .range(..=proc)
+            .filter(|(p, e)| **p == proc || e.completed_at.is_some())
+            .map(|(p, _)| *p)
+            .collect();
+        let mut pruned = false;
+        for p in covered {
+            let entry = ue_log.procedures.get_mut(&p).expect("collected above");
+            entry.acks.insert(replica);
+            if !expected.is_empty()
+                && (expected.iter().all(|r| entry.acks.contains(r))
+                    || entry.acks.len() >= expected.len())
+            {
+                let freed = entry.bytes;
+                ue_log.procedures.remove(&p);
+                self.bytes -= freed;
+                pruned = true;
+            }
+        }
+        pruned
+    }
+
+    /// Forgets a failed replica's ACKs across every logged procedure — its
+    /// copies died with it, so it must not count toward convergence or be
+    /// offered as an up-to-date holder. Its `synced_through` entry survives
+    /// (failover filters candidates to live replicas itself).
+    pub fn purge_replica_acks(&mut self, replica: CpfId) {
+        for ue_log in self.ues.values_mut() {
+            for entry in ue_log.procedures.values_mut() {
+                entry.acks.remove(&replica);
+            }
         }
     }
 
@@ -296,6 +335,38 @@ mod tests {
         assert_eq!(
             log.ue(ue).unwrap().synced_through[&CpfId::new(1)],
             ProcedureId::new(5)
+        );
+    }
+
+    #[test]
+    fn ack_is_cumulative_over_completed_procedures() {
+        let mut log = MessageLog::new();
+        let ue = UeId::new(1);
+        let replicas = [CpfId::new(10), CpfId::new(11)];
+        // Two completed procedures; the ACKs for procedure 1 were lost.
+        log.append(env(1, 1, 1), 10, Instant::ZERO);
+        log.complete(ue, ProcedureId::new(1), ClockTick(1), Instant::ZERO);
+        log.append(env(1, 2, 2), 10, Instant::ZERO);
+        log.complete(ue, ProcedureId::new(2), ClockTick(2), Instant::ZERO);
+        // An ACK for procedure 2 covers procedure 1 too (full-state sync).
+        assert!(!log.ack(ue, ProcedureId::new(2), replicas[0], &replicas));
+        assert!(log.ack(ue, ProcedureId::new(2), replicas[1], &replicas));
+        assert_eq!(log.bytes(), 0, "both procedures pruned by one ACK round");
+    }
+
+    #[test]
+    fn cumulative_ack_spares_in_flight_predecessors() {
+        let mut log = MessageLog::new();
+        let ue = UeId::new(1);
+        let replicas = [CpfId::new(10)];
+        // Procedure 1 never completed (still needs replay coverage).
+        log.append(env(1, 1, 1), 10, Instant::ZERO);
+        log.append(env(1, 2, 2), 10, Instant::ZERO);
+        log.complete(ue, ProcedureId::new(2), ClockTick(2), Instant::ZERO);
+        log.ack(ue, ProcedureId::new(2), replicas[0], &replicas);
+        assert!(
+            log.ue(ue).unwrap().procedures.contains_key(&ProcedureId::new(1)),
+            "in-flight procedure 1 must keep its messages"
         );
     }
 

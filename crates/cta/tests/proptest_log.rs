@@ -45,14 +45,23 @@ proptest! {
         let mut log = MessageLog::new();
         let replicas = [CpfId::new(0), CpfId::new(1), CpfId::new(2)];
         let mut clock = 0u64;
-        let mut shadow: std::collections::HashMap<(u8, u8), usize> =
+        // Shadow model of each logged procedure: bytes, ACK set, completion.
+        // ACKs are cumulative, so the model must retro-ACK completed
+        // predecessors exactly like `MessageLog::ack` does.
+        #[derive(Default)]
+        struct Entry {
+            bytes: usize,
+            acks: std::collections::BTreeSet<u8>,
+            completed: bool,
+        }
+        let mut shadow: std::collections::HashMap<(u8, u8), Entry> =
             std::collections::HashMap::new();
         for o in &ops {
             match *o {
                 Op::Append { ue, proc, bytes } => {
                     clock += 1;
                     log.append(env(ue, proc, clock), bytes as usize, Instant::ZERO);
-                    *shadow.entry((ue, proc)).or_insert(0) += bytes as usize;
+                    shadow.entry((ue, proc)).or_default().bytes += bytes as usize;
                 }
                 Op::Complete { ue, proc } => {
                     log.complete(
@@ -61,18 +70,34 @@ proptest! {
                         ClockTick(clock),
                         Instant::ZERO,
                     );
+                    // `complete` materializes the entry even if nothing was
+                    // appended — mirror that.
+                    shadow.entry((ue, proc)).or_default().completed = true;
                 }
                 Op::Ack { ue, proc, replica } => {
-                    // Expect both non-acking replicas, so pruning needs a
-                    // full set; single acks must not prune.
-                    let pruned = log.ack(
+                    // Expect replicas {0, 1}: pruning needs either that exact
+                    // set ACKed or two distinct ACKs (count-based convergence
+                    // — replica 2 substitutes after a failover re-targets
+                    // checkpoints); a single ACK must never prune.
+                    log.ack(
                         UeId::new(u64::from(ue)),
                         ProcedureId::new(u64::from(proc)),
                         replicas[replica as usize],
                         &replicas[..2],
                     );
-                    if pruned {
-                        shadow.remove(&(ue, proc));
+                    let covered: Vec<(u8, u8)> = shadow
+                        .keys()
+                        .filter(|&&(u, p)| u == ue && p <= proc)
+                        .copied()
+                        .collect();
+                    for key in covered {
+                        let e = shadow.get_mut(&key).expect("collected");
+                        if key.1 == proc || e.completed {
+                            e.acks.insert(replica);
+                            if e.acks.len() >= 2 {
+                                shadow.remove(&key);
+                            }
+                        }
                     }
                 }
                 Op::Drop { ue, proc } => {
@@ -80,7 +105,7 @@ proptest! {
                     shadow.remove(&(ue, proc));
                 }
             }
-            let expected: usize = shadow.values().sum();
+            let expected: usize = shadow.values().map(|e| e.bytes).sum();
             prop_assert_eq!(log.bytes(), expected, "byte accounting drifted");
             prop_assert!(log.max_bytes() >= log.bytes());
         }

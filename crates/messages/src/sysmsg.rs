@@ -190,6 +190,17 @@ pub enum SysMsg {
         /// The failed CPF.
         cpf: CpfId,
     },
+    /// CTA → primary CPF: a completed procedure's checkpoint is missing
+    /// replica ACKs (lost sync or lost ACK); re-send it to the backups.
+    /// Sent with exponential backoff before the ACK-timeout scan gives up.
+    ResyncRequest {
+        /// The UE whose checkpoint is unacknowledged.
+        ue: UeId,
+        /// The procedure the CTA is still waiting on.
+        procedure: ProcedureId,
+        /// The CTA waiting for the ACKs.
+        cta: CtaId,
+    },
 }
 
 impl SysMsg {
@@ -211,6 +222,7 @@ impl SysMsg {
             SysMsg::DownlinkData { .. } => "downlink-data",
             SysMsg::DdnRequest { .. } => "ddn-request",
             SysMsg::CpfFailure { .. } => "cpf-failure",
+            SysMsg::ResyncRequest { .. } => "resync-request",
         }
     }
 }

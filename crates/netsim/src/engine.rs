@@ -10,7 +10,7 @@
 //! sequence is assigned at scheduling time, so ties break identically on
 //! every run.
 
-use crate::links::Links;
+use crate::links::{Delivery, Links};
 use crate::stats::{NodeStats, SimStats};
 use neutrino_common::time::{Duration, Instant};
 use std::any::Any;
@@ -251,12 +251,18 @@ pub struct Sim<M> {
     events_processed: u64,
     /// Host time spent inside `run_until`, for events/sec reporting.
     wall: std::time::Duration,
+    /// Fault-layer and routing counters (see [`SimStats`]).
+    dropped_loss: u64,
+    dropped_partition: u64,
+    duplicated: u64,
+    reordered: u64,
+    dropped_unroutable: u64,
     /// Recycled outbox: send/timer buffers are reused across `handle`
     /// calls instead of being reallocated per event.
     scratch: Outbox<M>,
 }
 
-impl<M: 'static> Sim<M> {
+impl<M: Clone + 'static> Sim<M> {
     /// Creates a simulator over the given link table.
     pub fn new(links: Links) -> Self {
         Self::with_config(links, SimConfig::default())
@@ -276,6 +282,11 @@ impl<M: 'static> Sim<M> {
             config,
             events_processed: 0,
             wall: std::time::Duration::ZERO,
+            dropped_loss: 0,
+            dropped_partition: 0,
+            duplicated: 0,
+            reordered: 0,
+            dropped_unroutable: 0,
             scratch: Outbox::default(),
         }
     }
@@ -295,6 +306,11 @@ impl<M: 'static> Sim<M> {
         SimStats {
             events_processed: self.events_processed,
             wall: self.wall,
+            dropped_loss: self.dropped_loss,
+            dropped_partition: self.dropped_partition,
+            duplicated: self.duplicated,
+            reordered: self.reordered,
+            dropped_unroutable: self.dropped_unroutable,
         }
     }
 
@@ -388,13 +404,40 @@ impl<M: 'static> Sim<M> {
     }
 
     /// Drains a borrowed outbox into the event queue, leaving its buffers
-    /// empty for reuse.
+    /// empty for reuse. Every send consults the fault layer: the link
+    /// sequence advances exactly once per send (fault draws use salted
+    /// hashes of the same sequence), so a fault-free run schedules the
+    /// identical event stream the pre-fault-layer engine did.
     fn flush_outbox(&mut self, from: NodeId, out: &mut Outbox<M>, epoch: u64) {
         let now = out.now;
         for (to, msg, extra) in out.sends.drain(..) {
-            let delay = self.links.sample_delay(from, to, self.link_seq);
+            let sequence = self.link_seq;
             self.link_seq += 1;
-            self.push(now + extra + delay, EventKind::Deliver { to, from, msg });
+            match self.links.plan_delivery(from, to, sequence, now) {
+                Delivery::Lost => self.dropped_loss += 1,
+                Delivery::Partitioned => self.dropped_partition += 1,
+                Delivery::Deliver {
+                    delay,
+                    duplicate,
+                    reordered,
+                } => {
+                    if reordered {
+                        self.reordered += 1;
+                    }
+                    if let Some(dup_delay) = duplicate {
+                        self.duplicated += 1;
+                        self.push(
+                            now + extra + dup_delay,
+                            EventKind::Deliver {
+                                to,
+                                from,
+                                msg: msg.clone(),
+                            },
+                        );
+                    }
+                    self.push(now + extra + delay, EventKind::Deliver { to, from, msg });
+                }
+            }
         }
         for (delay, id) in out.timers.drain(..) {
             self.push(
@@ -480,7 +523,12 @@ impl<M: 'static> Sim<M> {
                 EventKind::Deliver { to, from, msg } => {
                     let slot = match self.slot(to) {
                         Some(s) => s,
-                        None => continue, // unknown destination: dropped
+                        None => {
+                            // Unknown destination: count it — a misrouted
+                            // message vanishing silently is undebuggable.
+                            self.dropped_unroutable += 1;
+                            continue;
+                        }
                     };
                     let entry = &mut self.nodes[slot];
                     if !entry.up {
@@ -919,6 +967,122 @@ mod tests {
             sim.inject_at(Instant::ZERO, b, i);
         }
         sim.run_to_completion();
+    }
+
+    #[test]
+    fn unroutable_deliveries_are_counted() {
+        let links = Links::with_default(LinkSpec::fixed(Duration::ZERO));
+        let mut sim = Sim::new(links);
+        let a = NodeId::new(1);
+        let ghost = NodeId::new(99);
+        sim.add_node(
+            a,
+            Box::new(Kicker {
+                peer: ghost, // pings a node that was never registered
+                count: 3,
+                replies: Vec::new(),
+            }),
+        );
+        sim.inject_at(Instant::ZERO, a, 0);
+        sim.run_to_completion();
+        assert_eq!(sim.sim_stats().dropped_unroutable, 3);
+    }
+
+    #[test]
+    fn routable_traffic_never_touches_the_unroutable_counter() {
+        let (mut sim, a, _b) = two_node_sim(Duration::from_micros(5), Duration::from_micros(20));
+        sim.inject_at(Instant::ZERO, a, 0);
+        sim.run_to_completion();
+        let stats = sim.sim_stats();
+        debug_assert_eq!(stats.dropped_unroutable, 0);
+        assert_eq!(stats.dropped_unroutable, 0);
+    }
+
+    #[test]
+    fn total_loss_blackholes_the_link() {
+        let (mut sim, a, b) = two_node_sim(Duration::ZERO, Duration::from_micros(10));
+        sim.links_mut().set_fault(
+            a,
+            b,
+            crate::links::FaultSpec {
+                loss: 1.0,
+                ..crate::links::FaultSpec::NONE
+            },
+        );
+        sim.inject_at(Instant::ZERO, a, 0);
+        sim.run_to_completion();
+        let echo = sim.node_as::<Echo>(b).unwrap();
+        assert!(echo.seen.is_empty(), "every ping was lost");
+        assert_eq!(sim.sim_stats().dropped_loss, 3);
+    }
+
+    #[test]
+    fn duplication_delivers_extra_copies() {
+        let (mut sim, a, b) = two_node_sim(Duration::ZERO, Duration::from_micros(10));
+        sim.links_mut().set_fault(
+            a,
+            b,
+            crate::links::FaultSpec {
+                duplicate: 1.0,
+                ..crate::links::FaultSpec::NONE
+            },
+        );
+        sim.inject_at(Instant::ZERO, a, 0);
+        sim.run_to_completion();
+        let stats = sim.sim_stats();
+        assert_eq!(stats.duplicated, 3);
+        let echo = sim.node_as::<Echo>(b).unwrap();
+        assert_eq!(echo.seen.len(), 6, "each of 3 pings arrived twice");
+    }
+
+    #[test]
+    fn partition_window_drops_then_heals() {
+        let (mut sim, a, b) = two_node_sim(Duration::ZERO, Duration::ZERO);
+        // Kicker sends its pings at t=0; partition covers that instant.
+        sim.links_mut()
+            .add_partition(a, b, Instant::ZERO, Instant::from_micros(1));
+        sim.inject_at(Instant::ZERO, a, 0);
+        // A second kick after the window: traffic flows again.
+        sim.inject_at(Instant::from_micros(5), a, 0);
+        sim.run_to_completion();
+        let stats = sim.sim_stats();
+        assert_eq!(stats.dropped_partition, 3);
+        let echo = sim.node_as::<Echo>(b).unwrap();
+        assert_eq!(echo.seen.len(), 3, "only the post-heal pings arrived");
+    }
+
+    #[test]
+    fn faulty_runs_replay_identically() {
+        let run = || {
+            let (mut sim, a, b) =
+                two_node_sim(Duration::from_micros(13), Duration::from_micros(97));
+            sim.links_mut().set_seed(7);
+            sim.links_mut().set_fault_default(crate::links::FaultSpec {
+                loss: 0.2,
+                duplicate: 0.2,
+                reorder: 0.3,
+                reorder_window: Duration::from_micros(200),
+            });
+            for i in 0..50 {
+                sim.inject_at(Instant::from_micros(i * 7), a, i);
+            }
+            sim.run_to_completion();
+            let stats = sim.sim_stats();
+            (
+                sim.now(),
+                sim.events_processed(),
+                stats.dropped_loss,
+                stats.duplicated,
+                stats.reordered,
+                sim.node_as::<Echo>(b).unwrap().seen.clone(),
+            )
+        };
+        let first = run();
+        assert!(
+            first.2 > 0 && first.3 > 0 && first.4 > 0,
+            "faults actually fired: {first:?}"
+        );
+        assert_eq!(first, run());
     }
 
     #[test]

@@ -31,5 +31,5 @@ pub mod links;
 pub mod stats;
 
 pub use engine::{Node, NodeEvent, NodeId, Outbox, Sim, SimConfig};
-pub use links::{LinkSpec, Links};
+pub use links::{Delivery, FaultSpec, LinkSpec, Links};
 pub use stats::{NodeStats, SimStats};

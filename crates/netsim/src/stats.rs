@@ -54,6 +54,17 @@ pub struct SimStats {
     pub events_processed: u64,
     /// Host time spent inside `run_until` across all calls.
     pub wall: std::time::Duration,
+    /// Transmissions dropped by the fault layer's loss probability.
+    pub dropped_loss: u64,
+    /// Transmissions dropped inside a partition window.
+    pub dropped_partition: u64,
+    /// Extra copies delivered by the fault layer's duplication draw.
+    pub duplicated: u64,
+    /// Transmissions held back by the fault layer's reorder draw.
+    pub reordered: u64,
+    /// Deliveries addressed to a node id that was never registered. Always
+    /// zero in a correctly wired cluster — nonzero means misrouting.
+    pub dropped_unroutable: u64,
 }
 
 impl SimStats {
@@ -79,6 +90,7 @@ mod tests {
         let s = SimStats {
             events_processed: 1000,
             wall: std::time::Duration::from_millis(500),
+            ..SimStats::default()
         };
         assert!((s.events_per_sec() - 2000.0).abs() < 1e-6);
     }

@@ -1,0 +1,241 @@
+//! Cross-node consistency audit.
+//!
+//! After a failure experiment, the cluster's surviving nodes must still
+//! agree on every UE: for each UE the CTA has seen complete a procedure,
+//! some live CPF must hold a servable state copy at (or beyond) that
+//! procedure — or the CTA's message log must still be able to rebuild one
+//! by replay (§4.2.5 scenario 2). UPF sessions must belong to UEs the
+//! control plane knows. Neutrino maintains this invariant *continuously*,
+//! even between a crash and the first post-failure contact; re-attach-based
+//! baselines violate it for every UE whose only state copy died, until (and
+//! unless) the UE re-attaches.
+//!
+//! The audit is read-only: it never injects events, so running it mid-
+//! experiment does not perturb the simulation's deterministic schedule.
+
+use crate::cluster::Cluster;
+use crate::simnode::{cpf_node, cta_node, upf_node, CpfNode, CtaNode, UpfNode};
+use neutrino_common::{CpfId, CtaId, ProcedureId, UeId, UpfId};
+use std::collections::HashSet;
+
+/// One observed violation of the cross-node consistency invariant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Divergence {
+    /// The CTA saw procedures complete for this UE, but no live CPF holds
+    /// any copy of its state and the log cannot rebuild one from scratch.
+    MissingState {
+        /// The UE concerned.
+        ue: UeId,
+        /// The last procedure the CTA saw complete.
+        expected: ProcedureId,
+    },
+    /// The freshest live copy (servable or outdated) predates the last
+    /// procedure the CTA saw complete, and the log cannot close the gap by
+    /// replay on top of it.
+    StaleState {
+        /// The UE concerned.
+        ue: UeId,
+        /// The freshest version any live CPF holds.
+        held: ProcedureId,
+        /// The last procedure the CTA saw complete.
+        expected: ProcedureId,
+    },
+    /// A UPF session exists for a UE no live CTA knows about.
+    OrphanedSession {
+        /// The UE concerned.
+        ue: UeId,
+        /// The UPF holding the session.
+        upf: UpfId,
+    },
+}
+
+impl Divergence {
+    /// The UE the divergence concerns.
+    pub fn ue(&self) -> UeId {
+        match self {
+            Divergence::MissingState { ue, .. }
+            | Divergence::StaleState { ue, .. }
+            | Divergence::OrphanedSession { ue, .. } => *ue,
+        }
+    }
+
+    fn sort_key(&self) -> (u64, u8) {
+        let rank = match self {
+            Divergence::MissingState { .. } => 0,
+            Divergence::StaleState { .. } => 1,
+            Divergence::OrphanedSession { .. } => 2,
+        };
+        (self.ue().raw(), rank)
+    }
+}
+
+/// Outcome of one or more audit passes over a cluster.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct AuditReport {
+    /// Audit passes merged into this report.
+    pub passes: u64,
+    /// UE records checked (summed over passes).
+    pub ues_checked: u64,
+    /// UPF sessions checked (summed over passes).
+    pub sessions_checked: u64,
+    /// Every divergence observed, in deterministic (UE, kind) order per
+    /// pass.
+    pub divergences: Vec<Divergence>,
+}
+
+impl AuditReport {
+    /// True when no pass observed any divergence.
+    pub fn is_clean(&self) -> bool {
+        self.divergences.is_empty()
+    }
+
+    /// Folds another report (e.g. a later pass) into this one.
+    pub fn merge(&mut self, other: AuditReport) {
+        self.passes += other.passes;
+        self.ues_checked += other.ues_checked;
+        self.sessions_checked += other.sessions_checked;
+        self.divergences.extend(other.divergences);
+    }
+}
+
+/// What one live CTA expects for one UE.
+struct Expectation {
+    cta: CtaId,
+    ue: UeId,
+    expected: ProcedureId,
+}
+
+/// Runs one audit pass over the cluster's current state.
+pub fn audit_cluster(cluster: &mut Cluster) -> AuditReport {
+    let mut report = AuditReport {
+        passes: 1,
+        ..AuditReport::default()
+    };
+
+    let ctas: Vec<CtaId> = cluster.deployment.regions().iter().map(|r| r.cta).collect();
+    let cpfs: Vec<CpfId> = cluster.deployment.all_cpfs();
+    let upfs: Vec<UpfId> = cluster
+        .deployment
+        .regions()
+        .iter()
+        .flat_map(|r| r.upfs.clone())
+        .collect();
+
+    // Phase 1: collect what every live CTA knows. A UE with no completed
+    // procedure has no durable state to check yet, but still counts as
+    // "known" for the orphan check.
+    let mut known: HashSet<UeId> = HashSet::new();
+    let mut expectations: Vec<Expectation> = Vec::new();
+    for &cta in &ctas {
+        if !cluster.sim.is_up(cta_node(cta)) {
+            continue;
+        }
+        let node = match cluster.sim.node_as::<CtaNode>(cta_node(cta)) {
+            Some(n) => n,
+            None => continue,
+        };
+        for (ue, ue_log) in node.core().log().ues() {
+            known.insert(*ue);
+            if ue_log.last_completed.raw() > 0 {
+                expectations.push(Expectation {
+                    cta,
+                    ue: *ue,
+                    expected: ue_log.last_completed,
+                });
+            }
+        }
+    }
+
+    // Phase 2: for each expectation, find the freshest servable copy on any
+    // live CPF, then fall back to replay coverage from the owning CTA's log.
+    // Replay can rebuild on top of *any* surviving copy, including ones
+    // marked outdated during a migration (§4.2.5 scenario 2) — outdated only
+    // forbids serving traffic, not recovery — so the replay base is the
+    // freshest live copy of any freshness.
+    let mut divergences = Vec::new();
+    for exp in &expectations {
+        report.ues_checked += 1;
+        let mut best_servable: Option<ProcedureId> = None;
+        let mut best_any: Option<ProcedureId> = None;
+        for &cpf in &cpfs {
+            if !cluster.sim.is_up(cpf_node(cpf)) {
+                continue;
+            }
+            let node = match cluster.sim.node_as::<CpfNode>(cpf_node(cpf)) {
+                Some(n) => n,
+                None => continue,
+            };
+            if let Some(rec) = node.core().store().get(exp.ue) {
+                let v = rec.state.version.procedure;
+                if best_any.map(|b| v > b).unwrap_or(true) {
+                    best_any = Some(v);
+                }
+                if node.core().store().servable(exp.ue)
+                    && best_servable.map(|b| v > b).unwrap_or(true)
+                {
+                    best_servable = Some(v);
+                }
+            }
+        }
+        if best_servable.unwrap_or(ProcedureId(0)) >= exp.expected {
+            continue;
+        }
+        // No fresh-enough servable copy: the CTA log may still close the gap
+        // from the freshest surviving copy (or from scratch). Only systems
+        // that log messages get this fallback — with logging off the CTA
+        // still tracks completion *metadata* (empty procedure entries), and
+        // `replay_covers` over empty entries would vacuously excuse a state
+        // copy nothing can actually rebuild.
+        let base = best_any.unwrap_or(ProcedureId(0));
+        let recoverable = cluster.config().logging
+            && cluster
+                .sim
+                .node_as::<CtaNode>(cta_node(exp.cta))
+                .map(|n| n.core().log().replay_covers(exp.ue, base))
+                .unwrap_or(false);
+        if recoverable {
+            continue;
+        }
+        divergences.push(match best_any {
+            None => Divergence::MissingState {
+                ue: exp.ue,
+                expected: exp.expected,
+            },
+            Some(held) => Divergence::StaleState {
+                ue: exp.ue,
+                held,
+                expected: exp.expected,
+            },
+        });
+    }
+
+    // Phase 3: every UPF session must belong to a known UE.
+    for &upf in &upfs {
+        if !cluster.sim.is_up(upf_node(upf)) {
+            continue;
+        }
+        let node = match cluster.sim.node_as::<UpfNode>(upf_node(upf)) {
+            Some(n) => n,
+            None => continue,
+        };
+        let orphans: Vec<UeId> = node
+            .core()
+            .table()
+            .iter()
+            .map(|(ue, _)| *ue)
+            .filter(|ue| !known.contains(ue))
+            .collect();
+        report.sessions_checked += node.core().table().len() as u64;
+        divergences.extend(
+            orphans
+                .into_iter()
+                .map(|ue| Divergence::OrphanedSession { ue, upf }),
+        );
+    }
+
+    // HashMap iteration produced these in arbitrary order; the report must
+    // be byte-stable across runs and `--jobs N`.
+    divergences.sort_by_key(Divergence::sort_key);
+    report.divergences = divergences;
+    report
+}

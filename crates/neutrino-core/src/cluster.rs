@@ -9,7 +9,7 @@ use neutrino_cpf::{CpfConfig, CpfCore, CpfMetrics};
 use neutrino_cta::{CtaConfig, CtaCore, CtaMetrics};
 use neutrino_geo::{Deployment, RegionLayout};
 use neutrino_messages::SysMsg;
-use neutrino_netsim::{LinkSpec, Links, Sim, SimConfig};
+use neutrino_netsim::{FaultSpec, LinkSpec, Links, Sim, SimConfig};
 use neutrino_upf::UpfCore;
 
 /// The simulator's message type: protocol traffic plus the bootstrap kick
@@ -35,6 +35,10 @@ pub struct LinkProfile {
     /// re-rolled per [`ExperimentSpec::seed`](crate::experiment::ExperimentSpec::seed)).
     /// Zero — the default — keeps every link delay exact.
     pub jitter: Duration,
+    /// Seeded fault injection applied to every link (loss, duplication,
+    /// bounded reorder). [`FaultSpec::NONE`] — the default — keeps the
+    /// fault-free event stream byte-identical to the pre-fault engine.
+    pub faults: FaultSpec,
 }
 
 impl Default for LinkProfile {
@@ -43,6 +47,7 @@ impl Default for LinkProfile {
             intra_region: Duration::from_micros(5),
             inter_region: Duration::from_micros(500),
             jitter: Duration::ZERO,
+            faults: FaultSpec::NONE,
         }
     }
 }
@@ -98,6 +103,7 @@ impl Cluster {
             jitter,
         });
         links.set_seed(seed);
+        links.set_fault_default(links_profile.faults);
         let inter = LinkSpec {
             latency: links_profile.inter_region,
             jitter,
@@ -145,6 +151,13 @@ impl Cluster {
                 logging: config.logging,
                 failover: config.failover,
                 ack_timeout: Duration::from_secs(30),
+                // No replication → no ACKs will ever come; a resync chase
+                // would just spam the primary. Zero disables it.
+                resync_base: if config.replication == neutrino_cpf::ReplicationMode::None {
+                    Duration::ZERO
+                } else {
+                    Duration::from_secs(4)
+                },
                 codec: config.codec,
             };
             sim.add_node(
@@ -215,7 +228,10 @@ impl Cluster {
     }
 
     /// Crashes a CPF at `at` and delivers the failure notice to every CTA
-    /// right after (failure *detection* time is excluded from PCT, §6.4).
+    /// and every surviving CPF right after (failure *detection* time is
+    /// excluded from PCT, §6.4). CPFs need the notice too: their ring views
+    /// drive checkpoint targeting, and must drop the dead peer in lockstep
+    /// with the CTA's ACK expectations.
     pub fn fail_cpf_at(&mut self, at: Instant, cpf: CpfId) {
         self.sim.crash_at(at, cpf_node(cpf));
         let notice_at = at + Duration::from_micros(1);
@@ -226,6 +242,15 @@ impl Cluster {
                 cta_node(cta),
                 SimMsg::Sys(SysMsg::CpfFailure { cpf }),
             );
+        }
+        for peer in self.deployment.all_cpfs() {
+            if peer != cpf {
+                self.sim.inject_at(
+                    notice_at,
+                    cpf_node(peer),
+                    SimMsg::Sys(SysMsg::CpfFailure { cpf }),
+                );
+            }
         }
     }
 
@@ -348,6 +373,7 @@ impl Cluster {
                 agg.failover_re_attach += m.failover_re_attach;
                 agg.outdated_notices += m.outdated_notices;
                 agg.timeout_pruned += m.timeout_pruned;
+                agg.resyncs_requested += m.resyncs_requested;
             }
         }
         agg
@@ -368,6 +394,10 @@ impl Cluster {
                 agg.syncs_ignored += m.syncs_ignored;
                 agg.re_attach_asked += m.re_attach_asked;
                 agg.migrations += m.migrations;
+                agg.pages_sent += m.pages_sent;
+                agg.pages_failed += m.pages_failed;
+                agg.resyncs_answered += m.resyncs_answered;
+                agg.dup_uplink_nudges += m.dup_uplink_nudges;
             }
         }
         agg

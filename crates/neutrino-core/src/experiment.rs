@@ -1,5 +1,6 @@
 //! One-call experiment runner.
 
+use crate::audit::{audit_cluster, AuditReport};
 use crate::cluster::{Cluster, LinkProfile};
 use crate::config::{HandoverPolicy, SystemConfig};
 use crate::uepop::{Arrival, ProcedureWindow, UePopConfig, Workload};
@@ -96,6 +97,18 @@ pub struct RunResults {
     pub completed: u64,
     /// Re-attaches performed.
     pub re_attached: u64,
+    /// Arrivals skipped because the UE was mid-procedure.
+    pub skipped_busy: u64,
+    /// S1AP retransmissions the UE population sent.
+    pub retransmissions: u64,
+    /// Procedures still in flight when the run ended (0 after a fully
+    /// drained run).
+    pub incomplete: u64,
+    /// Explicit procedure failures: procedures still incomplete at the end
+    /// of the run, plus procedures the CTA's ACK-timeout scan pruned from
+    /// the log (their replication never converged — previously these
+    /// silently vanished from all accounting).
+    pub failed_procedures: u64,
     /// Peak total CTA log bytes (Fig. 17).
     pub max_log_bytes: usize,
     /// Aggregated CTA counters.
@@ -105,6 +118,10 @@ pub struct RunResults {
     /// Engine throughput for this run (events processed, wall time). Not
     /// serialized into figure outputs — wall-clock varies run to run.
     pub sim: SimStats,
+    /// Cross-node consistency audit: one pass shortly after each injected
+    /// failure plus a final pass at the end of the run. `None` when the run
+    /// injected no failures.
+    pub audit: Option<AuditReport>,
 }
 
 impl RunResults {
@@ -172,7 +189,32 @@ pub fn run_experiment(spec: ExperimentSpec) -> RunResults {
     }
     // The horizon bounds stragglers (retry loops after unrecoverable
     // failures); the workload itself ends the run in the common case.
-    cluster.run_until(Instant::ZERO + spec.horizon);
+    // Failure runs execute in segments so the consistency audit can observe
+    // the cluster inside each post-failure window; the audit is read-only
+    // and segmented `run_until` calls process the identical event stream,
+    // so fault-free runs and failure runs stay byte-reproducible.
+    let horizon_end = Instant::ZERO + spec.horizon;
+    let audit = if spec.failures.is_empty() {
+        cluster.run_until(horizon_end);
+        None
+    } else {
+        let mut report = AuditReport::default();
+        let mut pauses: Vec<Instant> = spec
+            .failures
+            .iter()
+            .map(|f| f.at + Duration::from_millis(2))
+            .collect();
+        pauses.sort_unstable();
+        for pause in pauses {
+            if pause < horizon_end {
+                cluster.run_until(pause);
+                report.merge(audit_cluster(&mut cluster));
+            }
+        }
+        cluster.run_until(horizon_end);
+        report.merge(audit_cluster(&mut cluster));
+        Some(report)
+    };
     let sim = cluster.sim.sim_stats();
     RUN_PERF.with(|p| {
         p.borrow_mut().push(RunPerf {
@@ -181,15 +223,21 @@ pub fn run_experiment(spec: ExperimentSpec) -> RunResults {
         })
     });
     let results = cluster.take_results();
+    let cta = cluster.cta_metrics();
     RunResults {
         pct: results.pct,
         windows: results.windows,
         started: results.started,
         completed: results.completed,
         re_attached: results.re_attached,
+        skipped_busy: results.skipped_busy,
+        retransmissions: results.retransmissions,
+        incomplete: results.incomplete,
+        failed_procedures: results.incomplete + cta.timeout_pruned,
         max_log_bytes: cluster.max_log_bytes(),
-        cta: cluster.cta_metrics(),
+        cta,
         cpf: cluster.cpf_metrics(),
         sim,
+        audit,
     }
 }

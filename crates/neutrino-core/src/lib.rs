@@ -19,16 +19,20 @@
 //!   deployment layout.
 //! * [`experiment`] — one-call experiment runner returning PCT
 //!   distributions and system metrics.
+//! * [`audit`] — post-failure cross-node consistency audit (CTA log vs CPF
+//!   stores vs UPF session tables).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod audit;
 pub mod cluster;
 pub mod config;
 pub mod experiment;
 pub mod simnode;
 pub mod uepop;
 
+pub use audit::{audit_cluster, AuditReport, Divergence};
 pub use cluster::{Cluster, LinkProfile, SimMsg};
 pub use config::{CpuProfile, HandoverPolicy, SystemConfig, SystemKind};
 pub use experiment::{run_experiment, ExperimentSpec, FailureSpec, RunResults};

@@ -127,7 +127,8 @@ fn raw_cpf_service_time(config: &SystemConfig, msg: &SysMsg) -> Duration {
         SysMsg::MigrationAck { .. }
         | SysMsg::MarkOutdated(_)
         | SysMsg::FetchState { .. }
-        | SysMsg::SyncAck(_) => Duration::from_nanos(300),
+        | SysMsg::SyncAck(_)
+        | SysMsg::ResyncRequest { .. } => Duration::from_nanos(300),
         _ => Duration::from_nanos(200),
     }
 }

@@ -119,6 +119,113 @@ fn epc_recovers_from_failure_only_by_re_attaching() {
 }
 
 #[test]
+fn neutrino_failure_audits_clean() {
+    let mut spec = ExperimentSpec::new(
+        SystemConfig::neutrino(),
+        workload(ProcedureKind::ServiceRequest, 80, 1_000),
+    );
+    let victim = primary_cpf_for(&spec.config, spec.layout, UeId::new(0)).unwrap();
+    spec.failures.push(FailureSpec {
+        at: Instant::from_millis(120),
+        cpf: victim,
+    });
+    let results = run_experiment(spec);
+    let audit = results.audit.expect("failure runs carry an audit");
+    assert_eq!(audit.passes, 2, "one post-failure pass plus the final pass");
+    assert!(audit.ues_checked > 0, "the audit must have checked UEs");
+    assert!(
+        audit.is_clean(),
+        "Neutrino must stay consistent through the failure: {:?}",
+        audit.divergences
+    );
+}
+
+#[test]
+fn epc_failure_reports_inconsistency_window() {
+    let mut spec = ExperimentSpec::new(
+        SystemConfig::existing_epc(),
+        workload(ProcedureKind::ServiceRequest, 80, 1_000),
+    );
+    let victim = primary_cpf_for(&spec.config, spec.layout, UeId::new(0)).unwrap();
+    spec.failures.push(FailureSpec {
+        at: Instant::from_millis(120),
+        cpf: victim,
+    });
+    let results = run_experiment(spec);
+    let audit = results.audit.expect("failure runs carry an audit");
+    assert!(
+        !audit.is_clean(),
+        "EPC's only state copy died: the post-failure pass must see it"
+    );
+    assert!(
+        audit
+            .divergences
+            .iter()
+            .any(|d| matches!(d, neutrino_core::Divergence::MissingState { .. })),
+        "the window shows as missing state: {:?}",
+        audit.divergences
+    );
+}
+
+#[test]
+fn neutrino_converges_under_link_faults_and_failure() {
+    use neutrino_common::time::Duration;
+    let run = || {
+        let mut spec = ExperimentSpec::new(
+            SystemConfig::neutrino(),
+            workload(ProcedureKind::ServiceRequest, 80, 1_000),
+        );
+        let victim = primary_cpf_for(&spec.config, spec.layout, UeId::new(0)).unwrap();
+        spec.failures.push(FailureSpec {
+            at: Instant::from_millis(120),
+            cpf: victim,
+        });
+        spec.links.faults = neutrino_netsim::FaultSpec {
+            loss: 0.01,
+            duplicate: 0.005,
+            reorder: 0.02,
+            reorder_window: Duration::from_micros(200),
+        };
+        spec.seed = 11;
+        run_experiment(spec)
+    };
+    let results = run();
+    // Faults can leave a UE mid-retry when its next arrival lands (skipped
+    // as busy), so the exact completion count can dip below the arrival
+    // count — but everything that started must converge.
+    assert_eq!(
+        results.incomplete, 0,
+        "no procedure may stall forever (retrans={}, re_attached={})",
+        results.retransmissions, results.re_attached
+    );
+    assert_eq!(results.failed_procedures, 0, "no procedure may be abandoned");
+    assert!(
+        results.completed + results.skipped_busy >= 160,
+        "every non-skipped arrival converges: completed={} skipped_busy={}",
+        results.completed,
+        results.skipped_busy
+    );
+    assert!(
+        results.sim.dropped_loss > 0,
+        "the fault layer must actually have dropped messages"
+    );
+    assert!(
+        results.retransmissions > 0,
+        "lost S1AP messages must surface as retransmissions"
+    );
+    let audit = results.audit.expect("failure runs carry an audit");
+    assert!(
+        audit.is_clean(),
+        "Neutrino must audit clean even on faulty links: {:?}",
+        audit.divergences
+    );
+    // Same seed ⇒ byte-identical replay, audit included.
+    let again = run();
+    assert_eq!(results.sim.events_processed, again.sim.events_processed);
+    assert_eq!(Some(audit), again.audit);
+}
+
+#[test]
 fn fast_handover_beats_handover_with_migration() {
     let run = |config: SystemConfig| {
         let spec = ExperimentSpec::new(

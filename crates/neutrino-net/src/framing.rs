@@ -35,6 +35,7 @@ const TAG_RELAY_RE_ATTACH: u8 = 12;
 const TAG_CPF_FAILURE: u8 = 13;
 const TAG_DOWNLINK_DATA: u8 = 14;
 const TAG_DDN: u8 = 15;
+const TAG_RESYNC_REQUEST: u8 = 16;
 
 fn err(detail: impl Into<String>) -> Error {
     Error::codec("framing", detail.into())
@@ -277,6 +278,12 @@ pub fn encode_sysmsg(msg: &SysMsg, codec_kind: CodecKind) -> Result<Vec<u8>> {
             buf.put_u64(ue.raw());
             buf.put_u64(upf.raw());
         }
+        SysMsg::ResyncRequest { ue, procedure, cta } => {
+            buf.put_u8(TAG_RESYNC_REQUEST);
+            buf.put_u64(ue.raw());
+            buf.put_u64(procedure.raw());
+            buf.put_u64(cta.raw());
+        }
     }
     Ok(buf.to_vec())
 }
@@ -477,6 +484,14 @@ pub fn decode_sysmsg(frame: &[u8], codec_kind: CodecKind) -> Result<SysMsg> {
                 upf: UpfId::new(buf.get_u64()),
             }
         }
+        TAG_RESYNC_REQUEST => {
+            need(&buf, 24)?;
+            SysMsg::ResyncRequest {
+                ue: UeId::new(buf.get_u64()),
+                procedure: ProcedureId::new(buf.get_u64()),
+                cta: CtaId::new(buf.get_u64()),
+            }
+        }
         other => return Err(err(format!("unknown frame tag {other}"))),
     };
     Ok(msg)
@@ -620,6 +635,14 @@ mod tests {
         );
         round_trip(
             SysMsg::CpfFailure { cpf: CpfId::new(3) },
+            CodecKind::Asn1Per,
+        );
+        round_trip(
+            SysMsg::ResyncRequest {
+                ue: UeId::new(4),
+                procedure: ProcedureId::new(7),
+                cta: CtaId::new(1),
+            },
             CodecKind::Asn1Per,
         );
     }

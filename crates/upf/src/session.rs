@@ -52,6 +52,11 @@ impl SessionTable {
         self.sessions.get(&ue)
     }
 
+    /// Iterates all sessions (consistency audits).
+    pub fn iter(&self) -> impl Iterator<Item = (&UeId, &Session)> {
+        self.sessions.iter()
+    }
+
     /// True when the UE's packets can flow right now.
     pub fn active(&self, ue: UeId) -> bool {
         matches!(

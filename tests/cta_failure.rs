@@ -26,9 +26,11 @@ fn build(config: SystemConfig, ues: u64, retry_ms: u64) -> Cluster {
             kind: ProcedureKind::ServiceRequest,
         });
     }
-    let mut uecfg = UePopConfig::default();
-    uecfg.retry_timeout = Duration::from_millis(retry_ms);
-    uecfg.max_retries = 1;
+    let mut uecfg = UePopConfig {
+        retry_timeout: Duration::from_millis(retry_ms),
+        max_retries: 1,
+        ..Default::default()
+    };
     for u in 0..ues {
         uecfg.record_windows_for.insert(UeId::new(u));
     }

@@ -92,8 +92,7 @@ fn neutrino_pages_the_ue_from_a_replica() {
 #[test]
 fn epc_reaches_the_ue_only_after_re_attach() {
     let o = figure2(SystemConfig::existing_epc());
-    let t = o
-        .delivered_at
+    o.delivered_at
         .expect("the EPC eventually restores reachability too");
     assert!(
         o.re_attached > 0,
