@@ -1,0 +1,266 @@
+//! The parallel seed explorer.
+//!
+//! ```text
+//! explore --scenario failover --seeds 500 --jobs 8
+//! explore --scenario all --seeds 1000 --corpus corpus-out
+//! explore --replay crates/check/corpus/failover-seed17.json
+//! explore --list
+//! ```
+//!
+//! Expands the scenario into one plan per seed, runs them over the bench
+//! crate's work-queue sweep runner (results are input-ordered, so output
+//! is byte-identical for any `--jobs`), and reports every violation. On
+//! failure it shrinks the lowest failing seed, pins the shrunk plan as a
+//! corpus case, double-runs it to prove byte-identical replay, and exits
+//! non-zero.
+
+use neutrino_bench::sweep::run_cells_with;
+use neutrino_check::corpus::{self, CorpusCase};
+use neutrino_check::run::{run_case, CheckReport};
+use neutrino_check::scenario::{CasePlan, Scenario};
+use neutrino_check::shrink::shrink;
+use neutrino_check::ALL_INVARIANTS;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    scenario: String,
+    seeds: u64,
+    start_seed: u64,
+    jobs: usize,
+    corpus: Option<PathBuf>,
+    shrink_budget: u64,
+    replay: Option<PathBuf>,
+    list: bool,
+}
+
+const USAGE: &str = "usage: explore [--scenario NAME|all] [--seeds N] [--start-seed S] \
+[--jobs J] [--corpus DIR] [--shrink-budget R] [--replay FILE] [--list]";
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        scenario: "all".to_string(),
+        seeds: 100,
+        start_seed: 0,
+        jobs: 0,
+        corpus: None,
+        shrink_budget: 150,
+        replay: None,
+        list: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next().ok_or_else(|| format!("{name} needs a value\n{USAGE}"))
+        };
+        match flag.as_str() {
+            "--scenario" => args.scenario = value("--scenario")?,
+            "--seeds" => {
+                args.seeds = value("--seeds")?.parse().map_err(|e| format!("--seeds: {e}"))?
+            }
+            "--start-seed" => {
+                args.start_seed = value("--start-seed")?
+                    .parse()
+                    .map_err(|e| format!("--start-seed: {e}"))?
+            }
+            "--jobs" => {
+                args.jobs = value("--jobs")?.parse().map_err(|e| format!("--jobs: {e}"))?
+            }
+            "--corpus" => args.corpus = Some(PathBuf::from(value("--corpus")?)),
+            "--shrink-budget" => {
+                args.shrink_budget = value("--shrink-budget")?
+                    .parse()
+                    .map_err(|e| format!("--shrink-budget: {e}"))?
+            }
+            "--replay" => args.replay = Some(PathBuf::from(value("--replay")?)),
+            "--list" => args.list = true,
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag `{other}`\n{USAGE}")),
+        }
+    }
+    Ok(args)
+}
+
+fn list() {
+    println!("scenarios:");
+    for s in Scenario::all() {
+        println!("  {:<18} {} [{}]", s.name, s.summary, s.system);
+    }
+    println!("invariants:");
+    for i in ALL_INVARIANTS {
+        println!("  {i}");
+    }
+}
+
+fn print_violations(report: &CheckReport) {
+    for v in &report.violations {
+        let ue = v.ue.map(|u| format!("ue {u}")).unwrap_or_else(|| "-".into());
+        println!(
+            "    [{}] t={:.3}ms {}: {}",
+            v.invariant,
+            v.at_us as f64 / 1e3,
+            ue,
+            v.detail
+        );
+    }
+    let extra = report.fingerprint.violations - report.violations.len() as u64;
+    if extra > 0 {
+        println!("    ... and {extra} more violations beyond the record cap");
+    }
+}
+
+/// Replays a pinned case twice; returns failure when violations appear or
+/// the two runs diverge.
+fn replay(path: &std::path::Path) -> ExitCode {
+    let case = match corpus::load(path) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "replaying {} (scenario {}, seed {})",
+        path.display(),
+        case.plan.scenario,
+        case.plan.seed
+    );
+    let first = run_case(&case.plan);
+    let second = run_case(&case.plan);
+    if first.to_json() != second.to_json() {
+        eprintln!("error: replay is not byte-identical — determinism regression");
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "  deterministic: yes ({} events, {} oracle passes)",
+        first.fingerprint.events_processed, first.passes
+    );
+    if first.is_clean() {
+        println!("  clean: no invariant fired");
+        ExitCode::SUCCESS
+    } else {
+        println!("  FAILED: {} violations", first.fingerprint.violations);
+        print_violations(&first);
+        ExitCode::FAILURE
+    }
+}
+
+/// Shrinks the failing plan, pins it, and proves the pin replays
+/// byte-identically. Returns the corpus path.
+fn pin_failure(plan: &CasePlan, dir: &std::path::Path, budget: u64) -> PathBuf {
+    println!("  shrinking seed {} (budget {budget} runs)...", plan.seed);
+    let outcome = shrink(plan, budget);
+    println!(
+        "    shrunk after {} runs: ues {} -> {}, duration {} -> {} ms, \
+         {} -> {} crashes, {} -> {} partitions",
+        outcome.runs,
+        plan.ues,
+        outcome.plan.ues,
+        plan.duration_ms,
+        outcome.plan.duration_ms,
+        plan.crashes.len(),
+        outcome.plan.crashes.len(),
+        plan.partitions.len(),
+        outcome.plan.partitions.len(),
+    );
+    let verify = run_case(&outcome.plan);
+    assert_eq!(
+        verify.to_json(),
+        outcome.report.to_json(),
+        "shrunk case must replay byte-identically"
+    );
+    let case = CorpusCase {
+        violation: outcome.report.violations.first().cloned(),
+        fingerprint: outcome.report.fingerprint.clone(),
+        plan: outcome.plan,
+    };
+    let path = corpus::save(dir, &case).expect("corpus case writes");
+    println!("    pinned {}", path.display());
+    print_violations(&outcome.report);
+    path
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if args.list {
+        list();
+        return ExitCode::SUCCESS;
+    }
+    if let Some(path) = &args.replay {
+        return replay(path);
+    }
+    let scenarios = if args.scenario == "all" {
+        Scenario::all()
+    } else {
+        match Scenario::by_name(&args.scenario) {
+            Some(s) => vec![s],
+            None => {
+                eprintln!("error: unknown scenario `{}` (try --list)", args.scenario);
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+    let jobs = if args.jobs == 0 {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    } else {
+        args.jobs
+    };
+    let corpus_dir = args.corpus.clone().unwrap_or_else(corpus::corpus_dir);
+
+    let mut failed = false;
+    for scenario in scenarios {
+        let plans: Vec<CasePlan> = (args.start_seed..args.start_seed + args.seeds)
+            .map(|seed| scenario.plan(seed))
+            .collect();
+        let cells = plans
+            .iter()
+            .cloned()
+            .map(|plan| {
+                Box::new(move || run_case(&plan)) as Box<dyn FnOnce() -> CheckReport + Send>
+            })
+            .collect();
+        let t0 = std::time::Instant::now();
+        let reports = run_cells_with(jobs, cells);
+        let elapsed = t0.elapsed();
+        let events: u64 = reports.iter().map(|r| r.fingerprint.events_processed).sum();
+        let failures: Vec<(&CasePlan, &CheckReport)> = plans
+            .iter()
+            .zip(&reports)
+            .filter(|(_, r)| !r.is_clean())
+            .collect();
+        println!(
+            "scenario {:<18} {} seeds, {} events, {:.1}s wall, {} failing",
+            scenario.name,
+            args.seeds,
+            events,
+            elapsed.as_secs_f64(),
+            failures.len()
+        );
+        if let Some((plan, report)) = failures.first() {
+            failed = true;
+            println!(
+                "  seed {} FAILED ({} violations):",
+                plan.seed, report.fingerprint.violations
+            );
+            print_violations(report);
+            pin_failure(plan, &corpus_dir, args.shrink_budget);
+            for (plan, _) in failures.iter().skip(1) {
+                println!("  seed {} also failed (not shrunk)", plan.seed);
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,321 @@
+//! The invariant catalog.
+//!
+//! Each entry implements [`neutrino_core::Invariant`] and inspects the
+//! paused cluster read-only. The catalog complements the consistency audit
+//! (which `neutrino-core` exposes as [`ConsistencyInvariant`]) with
+//! liveness- and resource-style properties that hold for *every* system,
+//! not just Neutrino:
+//!
+//! | name                  | property                                              |
+//! |-----------------------|-------------------------------------------------------|
+//! | `consistency`         | CTA log / CPF stores / UPF sessions agree (audit)     |
+//! | `no-lost-procedure`   | end of run: nothing in flight, nothing pruned         |
+//! | `bounded-stall`       | no in-flight procedure sits beyond the retry budget   |
+//! | `session-ownership`   | every UPF session belongs to a UE some live CTA knows |
+//! | `bounded-retry`       | retransmissions stay proportional to observed drops   |
+//! | `monotonic-checkpoint`| per-UE completed-procedure watermarks never regress   |
+
+use neutrino_core::simnode::{cta_node, upf_node, CtaNode, UpfNode};
+use neutrino_core::{ConsistencyInvariant, Invariant, OracleCtx, Violation};
+use std::collections::{BTreeMap, HashSet};
+
+/// Catalog name of [`NoLostProcedure`].
+pub const NO_LOST_PROCEDURE: &str = "no-lost-procedure";
+/// Catalog name of [`BoundedStall`].
+pub const BOUNDED_STALL: &str = "bounded-stall";
+/// Catalog name of [`SessionOwnership`].
+pub const SESSION_OWNERSHIP: &str = "session-ownership";
+/// Catalog name of [`BoundedRetry`].
+pub const BOUNDED_RETRY: &str = "bounded-retry";
+/// Catalog name of [`MonotonicCheckpoint`].
+pub const MONOTONIC_CHECKPOINT: &str = "monotonic-checkpoint";
+
+/// Every catalog name, including the core crate's `consistency`.
+pub const ALL_INVARIANTS: &[&str] = &[
+    neutrino_core::oracle::CONSISTENCY,
+    NO_LOST_PROCEDURE,
+    BOUNDED_STALL,
+    SESSION_OWNERSHIP,
+    BOUNDED_RETRY,
+    MONOTONIC_CHECKPOINT,
+];
+
+/// Instantiates a fresh invariant by catalog name.
+pub fn invariant_by_name(name: &str) -> Option<Box<dyn Invariant>> {
+    match name {
+        n if n == neutrino_core::oracle::CONSISTENCY => Some(Box::<ConsistencyInvariant>::default()),
+        NO_LOST_PROCEDURE => Some(Box::<NoLostProcedure>::default()),
+        BOUNDED_STALL => Some(Box::<BoundedStall>::default()),
+        SESSION_OWNERSHIP => Some(Box::<SessionOwnership>::default()),
+        BOUNDED_RETRY => Some(Box::<BoundedRetry>::default()),
+        MONOTONIC_CHECKPOINT => Some(Box::<MonotonicCheckpoint>::default()),
+        _ => None,
+    }
+}
+
+/// End-of-run liveness: after the drain margin, no procedure may still be
+/// in flight and the CTA's ACK-timeout scan must not have pruned any
+/// procedure from the log (pruned procedures silently lost their
+/// replication). Final pass only — mid-run there are always procedures in
+/// flight.
+#[derive(Debug, Default)]
+pub struct NoLostProcedure;
+
+impl Invariant for NoLostProcedure {
+    fn name(&self) -> &'static str {
+        NO_LOST_PROCEDURE
+    }
+
+    fn check(&mut self, ctx: &mut OracleCtx<'_>) -> Vec<Violation> {
+        if !ctx.final_pass {
+            return Vec::new();
+        }
+        let now = ctx.now;
+        let mut out: Vec<Violation> = ctx
+            .cluster
+            .population()
+            .active_procedures()
+            .into_iter()
+            .map(|(ue, started, _, retries)| Violation {
+                invariant: NO_LOST_PROCEDURE,
+                at: now,
+                ue: Some(ue),
+                detail: format!(
+                    "procedure still in flight at end of run (started at {} ms, {} retries)",
+                    started.as_nanos() / 1_000_000,
+                    retries
+                ),
+            })
+            .collect();
+        let pruned = ctx.cluster.cta_metrics().timeout_pruned;
+        if pruned > 0 {
+            out.push(Violation {
+                invariant: NO_LOST_PROCEDURE,
+                at: now,
+                ue: None,
+                detail: format!("CTA ACK-timeout scan pruned {pruned} procedures from the log"),
+            });
+        }
+        out
+    }
+}
+
+/// Mid-run liveness: the retry machinery bounds how long any in-flight
+/// procedure can sit without progress — `retry_timeout × max_retries`
+/// until the UE gives up and re-attaches (which itself counts as
+/// progress). A procedure stalled well past that bound means a timer was
+/// lost or the retry path is wedged.
+#[derive(Debug, Default)]
+pub struct BoundedStall;
+
+/// Slack multiplier on top of the give-up deadline: covers timer
+/// re-arming and the re-attach hop before declaring the machinery dead.
+const STALL_SLACK_RETRIES: u64 = 4;
+
+impl Invariant for BoundedStall {
+    fn name(&self) -> &'static str {
+        BOUNDED_STALL
+    }
+
+    fn check(&mut self, ctx: &mut OracleCtx<'_>) -> Vec<Violation> {
+        let now = ctx.now;
+        let pop = ctx.cluster.population();
+        let bound_ns = pop.config().retry_timeout.as_nanos()
+            * (pop.config().max_retries as u64 + STALL_SLACK_RETRIES);
+        pop.active_procedures()
+            .into_iter()
+            .filter_map(|(ue, _, last_progress, retries)| {
+                let stall_ns = now.saturating_since(last_progress).as_nanos();
+                (stall_ns > bound_ns).then(|| Violation {
+                    invariant: BOUNDED_STALL,
+                    at: now,
+                    ue: Some(ue),
+                    detail: format!(
+                        "no progress for {} ms (bound {} ms, {} retries)",
+                        stall_ns / 1_000_000,
+                        bound_ns / 1_000_000,
+                        retries
+                    ),
+                })
+            })
+            .collect()
+    }
+}
+
+/// Every UPF session must belong to a UE some live CTA knows about —
+/// the audit's orphan check, standalone so re-attach baselines (whose
+/// consistency the full audit would rightly fail) still get it. Skipped
+/// while any CTA is down: a dead CTA's knowledge is unavailable, not lost.
+#[derive(Debug, Default)]
+pub struct SessionOwnership;
+
+impl Invariant for SessionOwnership {
+    fn name(&self) -> &'static str {
+        SESSION_OWNERSHIP
+    }
+
+    fn check(&mut self, ctx: &mut OracleCtx<'_>) -> Vec<Violation> {
+        let now = ctx.now;
+        let cluster = &mut *ctx.cluster;
+        let ctas: Vec<_> = cluster.deployment.regions().iter().map(|r| r.cta).collect();
+        let upfs: Vec<_> = cluster
+            .deployment
+            .regions()
+            .iter()
+            .flat_map(|r| r.upfs.clone())
+            .collect();
+        let mut known = HashSet::new();
+        for cta in ctas {
+            if !cluster.sim.is_up(cta_node(cta)) {
+                return Vec::new();
+            }
+            if let Some(node) = cluster.sim.node_as::<CtaNode>(cta_node(cta)) {
+                known.extend(node.core().log().ues().map(|(ue, _)| *ue));
+            }
+        }
+        let mut out = Vec::new();
+        for upf in upfs {
+            if !cluster.sim.is_up(upf_node(upf)) {
+                continue;
+            }
+            if let Some(node) = cluster.sim.node_as::<UpfNode>(upf_node(upf)) {
+                out.extend(
+                    node.core()
+                        .table()
+                        .iter()
+                        .filter(|(ue, _)| !known.contains(ue))
+                        .map(|(ue, s)| Violation {
+                            invariant: SESSION_OWNERSHIP,
+                            at: now,
+                            ue: Some(*ue),
+                            detail: format!(
+                                "orphaned session at UPF {} (owning CPF {})",
+                                upf.raw(),
+                                s.cpf.raw()
+                            ),
+                        }),
+                );
+            }
+        }
+        out
+    }
+}
+
+/// Retransmissions must stay proportional to what the network actually
+/// did to this run: every retransmission is caused by a lost delivery
+/// (fault-layer loss, a partition window, or a message arriving at a
+/// down/crashed node), plus a constant head-room for timeouts on
+/// responses that were merely slow. Unbounded growth with no matching
+/// drops means a retry loop.
+#[derive(Debug, Default)]
+pub struct BoundedRetry;
+
+/// Constant head-room before drops are required to justify retries.
+const RETRY_BUDGET_BASE: u64 = 128;
+/// Allowed retransmissions per observed drop (a drop mid-procedure can
+/// strand several steps, each of which then retransmits).
+const RETRY_BUDGET_PER_DROP: u64 = 8;
+
+impl Invariant for BoundedRetry {
+    fn name(&self) -> &'static str {
+        BOUNDED_RETRY
+    }
+
+    fn check(&mut self, ctx: &mut OracleCtx<'_>) -> Vec<Violation> {
+        let sim = ctx.cluster.sim.sim_stats();
+        let drops = sim.dropped_loss + sim.dropped_partition + ctx.cluster.total_node_drops();
+        let retx = ctx.cluster.population().results().retransmissions;
+        let budget = RETRY_BUDGET_BASE + RETRY_BUDGET_PER_DROP * drops;
+        if retx <= budget {
+            return Vec::new();
+        }
+        vec![Violation {
+            invariant: BOUNDED_RETRY,
+            at: ctx.now,
+            ue: None,
+            detail: format!(
+                "{retx} retransmissions exceed budget {budget} ({drops} observed drops)"
+            ),
+        }]
+    }
+}
+
+/// Per-UE completed-procedure watermarks at each CTA never regress
+/// between oracle passes: the message log's `last_completed` is the
+/// checkpoint id the failover path trusts, and a regression would let a
+/// stale CPF copy masquerade as fresh. Stateful: watermarks persist
+/// across passes for the whole run.
+#[derive(Debug, Default)]
+pub struct MonotonicCheckpoint {
+    /// Highest `last_completed` observed per `(cta, ue)`.
+    watermarks: BTreeMap<(u64, u64), u64>,
+}
+
+impl Invariant for MonotonicCheckpoint {
+    fn name(&self) -> &'static str {
+        MONOTONIC_CHECKPOINT
+    }
+
+    fn check(&mut self, ctx: &mut OracleCtx<'_>) -> Vec<Violation> {
+        let now = ctx.now;
+        let cluster = &mut *ctx.cluster;
+        let ctas: Vec<_> = cluster.deployment.regions().iter().map(|r| r.cta).collect();
+        let mut out = Vec::new();
+        for cta in ctas {
+            if !cluster.sim.is_up(cta_node(cta)) {
+                continue;
+            }
+            let node = match cluster.sim.node_as::<CtaNode>(cta_node(cta)) {
+                Some(n) => n,
+                None => continue,
+            };
+            for (ue, log) in node.core().log().ues() {
+                let cur = log.last_completed.raw();
+                let slot = self.watermarks.entry((cta.raw(), ue.raw())).or_insert(cur);
+                if cur < *slot {
+                    out.push(Violation {
+                        invariant: MONOTONIC_CHECKPOINT,
+                        at: now,
+                        ue: Some(*ue),
+                        detail: format!(
+                            "CTA {} last_completed regressed {} -> {}",
+                            cta.raw(),
+                            *slot,
+                            cur
+                        ),
+                    });
+                } else {
+                    *slot = cur;
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_catalog_name_resolves() {
+        for name in ALL_INVARIANTS {
+            let inv = invariant_by_name(name).expect("catalog name resolves");
+            assert_eq!(inv.name(), *name);
+        }
+        assert!(invariant_by_name("no-such-invariant").is_none());
+    }
+
+    #[test]
+    fn scenario_invariant_lists_resolve() {
+        for s in crate::scenario::Scenario::all() {
+            for name in s.plan(0).invariants {
+                assert!(
+                    invariant_by_name(&name).is_some(),
+                    "scenario {} references unknown invariant {name}",
+                    s.name
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,42 @@
+//! `neutrino-check`: the deterministic simulation-testing harness.
+//!
+//! The netsim engine is already a deterministic discrete-event simulator:
+//! one seed fixes the entire event stream, faults included. This crate
+//! turns that property into a FoundationDB-style checking loop:
+//!
+//! * [`scenario`] — a DSL of named chaos families (topology + traffic +
+//!   fault grids) that expand, per seed, into self-contained serializable
+//!   [`CasePlan`](scenario::CasePlan)s.
+//! * [`invariants`] — the invariant catalog behind
+//!   [`neutrino_core::Invariant`]: no-lost-procedure, bounded-stall,
+//!   session-ownership, bounded-retry, monotonic-checkpoint, plus the
+//!   consistency audit in oracle form.
+//! * [`run`] — executes a plan with in-run oracle passes at configurable
+//!   sim-time intervals, pausing only at instants where events actually
+//!   occurred (so long drain tails cost nothing) and never perturbing the
+//!   event schedule. Produces a byte-stable [`CheckReport`](run::CheckReport).
+//! * [`shrink`] — minimizes a failing plan (drop partitions and crashes,
+//!   zero fault rates, shorten the horizon, fewer UEs) while it keeps
+//!   failing.
+//! * [`corpus`] — pinned regression cases under `crates/check/corpus/`:
+//!   shrunk plans that must replay clean and byte-identically on a healthy
+//!   tree.
+//!
+//! The `explore` binary drives thousands of seeds per scenario over the
+//! bench crate's parallel sweep runner; results are input-ordered, so the
+//! outcome is byte-identical for any `--jobs`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod corpus;
+pub mod invariants;
+pub mod run;
+pub mod scenario;
+pub mod shrink;
+
+pub use corpus::CorpusCase;
+pub use invariants::{invariant_by_name, ALL_INVARIANTS};
+pub use run::{run_case, CheckReport, Fingerprint, ViolationRecord};
+pub use scenario::{CasePlan, Scenario};
+pub use shrink::{shrink, ShrinkOutcome};

@@ -1,0 +1,392 @@
+//! The scenario DSL: named chaos families that expand, per seed, into
+//! fully concrete [`CasePlan`]s.
+//!
+//! A [`Scenario`] composes a system under test, a traffic profile, and
+//! randomization *ranges* for the fault dimensions (link loss/duplication/
+//! reorder, timed partitions, CPF crashes). [`Scenario::plan`] draws every
+//! concrete value from a splitmix64 chain over the seed, so the same
+//! `(scenario, seed)` pair always produces the identical plan — and the
+//! plan itself is plain serializable data, so a failing case can be pinned
+//! to disk and replayed byte-identically with no reference back to the
+//! scenario that generated it.
+
+use serde::{Deserialize, Serialize};
+
+/// One endpoint of a partition window, resolved against the deployment at
+/// build time (`kind` is `"cta"` or `"cpf"`, `index` picks within region 0).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EndpointPlan {
+    /// Node class: `"cta"` or `"cpf"`.
+    pub kind: String,
+    /// Index into region 0's nodes of that class (wrapped by modulo).
+    pub index: u64,
+}
+
+/// One scheduled CPF crash. Times are relative to the measured-phase start
+/// so they stay meaningful when the shrinker shortens the attach phase.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CrashPlan {
+    /// Milliseconds after the measured phase starts.
+    pub at_ms: u64,
+    /// Index into region 0's CPF pool (wrapped by modulo).
+    pub cpf_index: u64,
+}
+
+/// One timed bidirectional partition window (relative to measured start).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PartitionPlan {
+    /// Window start, milliseconds after the measured phase starts.
+    pub from_ms: u64,
+    /// Window end (exclusive), milliseconds after the measured phase starts.
+    pub until_ms: u64,
+    /// One side of the cut.
+    pub a: EndpointPlan,
+    /// The other side.
+    pub b: EndpointPlan,
+}
+
+/// A fully concrete, self-contained chaos schedule: everything one checked
+/// run needs. Probabilities are parts-per-million integers so the JSON
+/// form is byte-stable.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CasePlan {
+    /// The scenario family this plan came from (informational).
+    pub scenario: String,
+    /// The seed it was drawn with; also the link-layer fault/jitter seed.
+    pub seed: u64,
+    /// System under test (a [`SystemConfig`](neutrino_core::SystemConfig)
+    /// constructor name, e.g. `"neutrino"` or `"existing_epc"`).
+    pub system: String,
+    /// Procedure kind driven during the measured phase
+    /// ([`ProcedureKind::name`](neutrino_messages::procedures::ProcedureKind::name)).
+    pub kind: String,
+    /// Measured-phase arrival rate (procedures/second).
+    pub rate_pps: u64,
+    /// UE pool size (attached before the measured phase).
+    pub ues: u64,
+    /// Measured-phase duration in milliseconds.
+    pub duration_ms: u64,
+    /// Drain margin after the measured phase (stragglers and retries).
+    pub drain_ms: u64,
+    /// Oracle pass interval in milliseconds.
+    pub check_interval_ms: u64,
+    /// Per-link loss probability, parts per million.
+    pub loss_ppm: u64,
+    /// Per-link duplication probability, parts per million.
+    pub duplicate_ppm: u64,
+    /// Per-link reorder probability, parts per million.
+    pub reorder_ppm: u64,
+    /// Reorder hold-back window, microseconds.
+    pub reorder_window_us: u64,
+    /// Per-hop jitter bound, microseconds.
+    pub jitter_us: u64,
+    /// Scheduled CPF crashes.
+    pub crashes: Vec<CrashPlan>,
+    /// Timed partition windows.
+    pub partitions: Vec<PartitionPlan>,
+    /// Invariants to check, by catalog name (see `oracle::ALL_INVARIANTS`).
+    pub invariants: Vec<String>,
+}
+
+/// A stateless splitmix64 stream — the same generator family the link
+/// fault layer uses, so plans and fault draws share one reproducibility
+/// story.
+pub struct SplitMix(u64);
+
+impl SplitMix {
+    /// Starts a stream at `seed`.
+    pub fn new(seed: u64) -> Self {
+        SplitMix(seed)
+    }
+
+    /// Next raw draw.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut x = self.0;
+        x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        x ^ (x >> 31)
+    }
+
+    /// Uniform draw in `lo..=hi`.
+    pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        debug_assert!(lo <= hi);
+        lo + self.next_u64() % (hi - lo + 1)
+    }
+}
+
+/// Inclusive randomization range.
+#[derive(Debug, Clone, Copy)]
+pub struct Span {
+    /// Lower bound.
+    pub lo: u64,
+    /// Upper bound (inclusive).
+    pub hi: u64,
+}
+
+const fn span(lo: u64, hi: u64) -> Span {
+    Span { lo, hi }
+}
+
+/// A named chaos family: the ranges every per-seed draw comes from.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Stable name (the explorer's `--scenario` argument).
+    pub name: &'static str,
+    /// What the family stresses (shown by `explore --list`).
+    pub summary: &'static str,
+    /// System under test (config constructor name).
+    pub system: &'static str,
+    /// Measured-phase procedure kind.
+    pub kind: &'static str,
+    /// Arrival rate range (pps).
+    pub rate_pps: Span,
+    /// UE pool range.
+    pub ues: Span,
+    /// Measured duration range (ms).
+    pub duration_ms: Span,
+    /// Loss probability range (ppm).
+    pub loss_ppm: Span,
+    /// Duplication probability range (ppm).
+    pub duplicate_ppm: Span,
+    /// Reorder probability range (ppm).
+    pub reorder_ppm: Span,
+    /// Jitter bound range (µs).
+    pub jitter_us: Span,
+    /// CPF crash count range.
+    pub crashes: Span,
+    /// Partition window count range.
+    pub partitions: Span,
+    /// Invariants checked (catalog names).
+    pub invariants: &'static [&'static str],
+}
+
+/// Invariant set for systems that guarantee continuous consistency.
+const NEUTRINO_INVARIANTS: &[&str] = &[
+    "consistency",
+    "no-lost-procedure",
+    "bounded-stall",
+    "session-ownership",
+    "bounded-retry",
+    "monotonic-checkpoint",
+];
+
+/// Invariant set for re-attach baselines: everything except continuous
+/// consistency (which they violate by design after a failure).
+const BASELINE_INVARIANTS: &[&str] = &[
+    "no-lost-procedure",
+    "bounded-stall",
+    "session-ownership",
+    "bounded-retry",
+    "monotonic-checkpoint",
+];
+
+impl Scenario {
+    /// Every built-in scenario.
+    pub fn all() -> Vec<Scenario> {
+        vec![
+            Scenario {
+                name: "failover",
+                summary: "Neutrino CPF crash mid-run under light link faults",
+                system: "neutrino",
+                kind: "service-request",
+                rate_pps: span(8_000, 24_000),
+                ues: span(1_500, 3_000),
+                duration_ms: span(200, 400),
+                loss_ppm: span(0, 15_000),
+                duplicate_ppm: span(0, 8_000),
+                reorder_ppm: span(0, 25_000),
+                jitter_us: span(0, 20),
+                crashes: span(1, 1),
+                partitions: span(0, 0),
+                invariants: NEUTRINO_INVARIANTS,
+            },
+            Scenario {
+                name: "partition",
+                summary: "timed CTA–CPF / CPF–CPF partitions, no crash",
+                system: "neutrino",
+                kind: "service-request",
+                rate_pps: span(8_000, 20_000),
+                ues: span(1_500, 2_500),
+                duration_ms: span(250, 450),
+                loss_ppm: span(0, 10_000),
+                duplicate_ppm: span(0, 5_000),
+                reorder_ppm: span(0, 15_000),
+                jitter_us: span(0, 20),
+                crashes: span(0, 0),
+                partitions: span(1, 2),
+                invariants: NEUTRINO_INVARIANTS,
+            },
+            Scenario {
+                name: "chaos",
+                summary: "crash + partitions + heavy loss/dup/reorder at once",
+                system: "neutrino",
+                kind: "service-request",
+                rate_pps: span(6_000, 18_000),
+                ues: span(1_200, 2_400),
+                duration_ms: span(250, 500),
+                loss_ppm: span(5_000, 50_000),
+                duplicate_ppm: span(0, 20_000),
+                reorder_ppm: span(5_000, 60_000),
+                jitter_us: span(0, 40),
+                crashes: span(0, 2),
+                partitions: span(0, 2),
+                invariants: NEUTRINO_INVARIANTS,
+            },
+            Scenario {
+                name: "handover-failover",
+                summary: "CPF crash while handovers migrate state",
+                system: "neutrino",
+                kind: "handover-cpf-change",
+                rate_pps: span(8_000, 20_000),
+                ues: span(1_500, 2_500),
+                duration_ms: span(200, 400),
+                loss_ppm: span(0, 15_000),
+                duplicate_ppm: span(0, 8_000),
+                reorder_ppm: span(0, 25_000),
+                jitter_us: span(0, 20),
+                crashes: span(1, 1),
+                partitions: span(0, 0),
+                invariants: NEUTRINO_INVARIANTS,
+            },
+            Scenario {
+                name: "epc-reattach",
+                summary: "existing-EPC crash recovery by re-attach (liveness only)",
+                system: "existing_epc",
+                kind: "service-request",
+                rate_pps: span(6_000, 16_000),
+                ues: span(1_200, 2_400),
+                duration_ms: span(200, 400),
+                loss_ppm: span(0, 10_000),
+                duplicate_ppm: span(0, 5_000),
+                reorder_ppm: span(0, 15_000),
+                jitter_us: span(0, 20),
+                crashes: span(1, 1),
+                partitions: span(0, 0),
+                invariants: BASELINE_INVARIANTS,
+            },
+        ]
+    }
+
+    /// Looks a scenario up by name.
+    pub fn by_name(name: &str) -> Option<Scenario> {
+        Scenario::all().into_iter().find(|s| s.name == name)
+    }
+
+    /// Expands this family into the concrete plan for `seed`. Pure: the
+    /// same `(scenario, seed)` always yields the identical plan.
+    pub fn plan(&self, seed: u64) -> CasePlan {
+        // Salt the stream with the scenario name so two scenarios sharing a
+        // seed do not share their draw sequence.
+        let salt = self
+            .name
+            .bytes()
+            .fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+                (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01B3)
+            });
+        let mut rng = SplitMix::new(seed ^ salt);
+        let duration_ms = rng.range(self.duration_ms.lo, self.duration_ms.hi);
+        let crashes = (0..rng.range(self.crashes.lo, self.crashes.hi))
+            .map(|_| CrashPlan {
+                // Land well inside the measured window so traffic is
+                // flowing both before and after the crash.
+                at_ms: rng.range(20, duration_ms.saturating_sub(40).max(21)),
+                cpf_index: rng.range(0, 4),
+            })
+            .collect();
+        let partitions = (0..rng.range(self.partitions.lo, self.partitions.hi))
+            .map(|_| {
+                let from_ms = rng.range(10, duration_ms.saturating_sub(80).max(11));
+                let len_ms = rng.range(20, 80);
+                // Cut either the CTA↔CPF hop or a CPF↔CPF pair; never the
+                // UE side, so the retry machinery always keeps cycling.
+                let (a, b) = if rng.range(0, 1) == 0 {
+                    (
+                        EndpointPlan { kind: "cta".into(), index: 0 },
+                        EndpointPlan { kind: "cpf".into(), index: rng.range(0, 4) },
+                    )
+                } else {
+                    let x = rng.range(0, 4);
+                    (
+                        EndpointPlan { kind: "cpf".into(), index: x },
+                        EndpointPlan { kind: "cpf".into(), index: (x + 1 + rng.range(0, 3)) % 5 },
+                    )
+                };
+                PartitionPlan {
+                    from_ms,
+                    until_ms: (from_ms + len_ms).min(duration_ms),
+                    a,
+                    b,
+                }
+            })
+            .collect();
+        CasePlan {
+            scenario: self.name.to_string(),
+            seed,
+            system: self.system.to_string(),
+            kind: self.kind.to_string(),
+            rate_pps: rng.range(self.rate_pps.lo, self.rate_pps.hi),
+            ues: rng.range(self.ues.lo, self.ues.hi),
+            duration_ms,
+            drain_ms: 10_000,
+            check_interval_ms: 25,
+            loss_ppm: rng.range(self.loss_ppm.lo, self.loss_ppm.hi),
+            duplicate_ppm: rng.range(self.duplicate_ppm.lo, self.duplicate_ppm.hi),
+            reorder_ppm: rng.range(self.reorder_ppm.lo, self.reorder_ppm.hi),
+            reorder_window_us: rng.range(100, 400),
+            jitter_us: rng.range(self.jitter_us.lo, self.jitter_us.hi),
+            crashes,
+            partitions,
+            invariants: self.invariants.iter().map(|s| s.to_string()).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plans_are_deterministic_per_seed() {
+        let s = Scenario::by_name("failover").unwrap();
+        assert_eq!(s.plan(7), s.plan(7));
+        assert_ne!(s.plan(7), s.plan(8));
+    }
+
+    #[test]
+    fn scenario_names_are_unique_and_resolvable() {
+        let all = Scenario::all();
+        for s in &all {
+            assert_eq!(Scenario::by_name(s.name).unwrap().name, s.name);
+        }
+        let names: std::collections::HashSet<_> = all.iter().map(|s| s.name).collect();
+        assert_eq!(names.len(), all.len());
+    }
+
+    #[test]
+    fn plans_round_trip_through_json() {
+        for s in Scenario::all() {
+            let plan = s.plan(42);
+            let json = serde_json::to_string_pretty(&plan).unwrap();
+            let back: CasePlan = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, plan);
+        }
+    }
+
+    #[test]
+    fn draws_land_in_their_spans() {
+        let s = Scenario::by_name("chaos").unwrap();
+        for seed in 0..50 {
+            let p = s.plan(seed);
+            assert!(p.rate_pps >= s.rate_pps.lo && p.rate_pps <= s.rate_pps.hi);
+            assert!(p.ues >= s.ues.lo && p.ues <= s.ues.hi);
+            assert!(p.duration_ms >= s.duration_ms.lo && p.duration_ms <= s.duration_ms.hi);
+            assert!(p.crashes.len() as u64 <= s.crashes.hi);
+            assert!(p.partitions.len() as u64 <= s.partitions.hi);
+            for w in &p.partitions {
+                assert!(w.from_ms < w.until_ms);
+                assert!(w.until_ms <= p.duration_ms);
+            }
+        }
+    }
+}

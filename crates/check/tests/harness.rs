@@ -1,0 +1,146 @@
+//! End-to-end tests of the checking harness itself.
+//!
+//! Simulation-scale cases are release-gated (`cargo test --release`), and
+//! the explorer-scale sweep is `#[ignore]`d for the `check-long` CI job —
+//! see TESTING.md.
+
+use neutrino_bench::sweep::run_cells_with;
+use neutrino_check::corpus::{self, CorpusCase};
+use neutrino_check::run::{run_case, CheckReport};
+use neutrino_check::scenario::{CasePlan, Scenario};
+use neutrino_check::shrink::shrink;
+
+/// The harness's own determinism: same plan, same bytes.
+#[test]
+#[cfg_attr(debug_assertions, ignore = "simulation-scale test; run with --release")]
+fn failover_seed_is_clean_and_replays_byte_identically() {
+    let plan = Scenario::by_name("failover").unwrap().plan(1);
+    let first = run_case(&plan);
+    assert!(
+        first.is_clean(),
+        "failover seed 1 must be clean on a healthy tree:\n{}",
+        first.to_json()
+    );
+    assert!(first.passes > 2, "oracle must actually pause the run");
+    assert!(
+        first.fingerprint.completed > 0,
+        "the measured phase must complete procedures"
+    );
+    let second = run_case(&plan);
+    assert_eq!(first.to_json(), second.to_json(), "replay must be byte-identical");
+}
+
+/// Self-test of the detect→shrink→pin pipeline, with no code sabotage
+/// needed: the existing EPC *does* violate continuous consistency after a
+/// CPF crash (the paper's motivating observation), so running it with the
+/// `consistency` invariant forced on is a guaranteed, deterministic
+/// failure.
+#[test]
+#[cfg_attr(debug_assertions, ignore = "simulation-scale test; run with --release")]
+fn epc_violation_is_detected_shrunk_and_pinned() {
+    let mut plan = Scenario::by_name("epc-reattach").unwrap().plan(3);
+    plan.invariants.push("consistency".to_string());
+    let report = run_case(&plan);
+    assert!(
+        !report.is_clean(),
+        "EPC + crash must violate continuous consistency"
+    );
+    assert!(report
+        .violations
+        .iter()
+        .any(|v| v.invariant == "consistency"));
+
+    let outcome = shrink(&plan, 40);
+    assert!(!outcome.report.is_clean());
+    assert!(
+        outcome.plan.ues <= plan.ues && outcome.plan.duration_ms <= plan.duration_ms,
+        "shrinking must not grow the plan"
+    );
+
+    // Pin it, reload it, and prove byte-identical replay of the pin.
+    let dir = std::env::temp_dir().join(format!("neutrino-check-pin-{}", std::process::id()));
+    let case = CorpusCase {
+        violation: outcome.report.violations.first().cloned(),
+        fingerprint: outcome.report.fingerprint.clone(),
+        plan: outcome.plan,
+    };
+    let path = corpus::save(&dir, &case).unwrap();
+    let loaded = corpus::load(&path).unwrap();
+    assert_eq!(loaded, case);
+    let replayed = run_case(&loaded.plan);
+    assert_eq!(
+        replayed.to_json(),
+        outcome.report.to_json(),
+        "pinned case must replay byte-identically"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Every pinned corpus case replays clean and byte-identically on this
+/// tree (the corpus contract).
+#[test]
+#[cfg_attr(debug_assertions, ignore = "simulation-scale test; run with --release")]
+fn corpus_cases_replay_clean() {
+    for (path, case) in corpus::load_dir(&corpus::corpus_dir()).unwrap() {
+        let first = run_case(&case.plan);
+        assert!(
+            first.is_clean(),
+            "{} must replay clean on a healthy tree:\n{}",
+            path.display(),
+            first.to_json()
+        );
+        let second = run_case(&case.plan);
+        assert_eq!(
+            first.to_json(),
+            second.to_json(),
+            "{} must replay byte-identically",
+            path.display()
+        );
+    }
+}
+
+/// Results are input-ordered regardless of worker count, so a sweep's
+/// output is byte-identical for any `--jobs`.
+#[test]
+#[cfg_attr(debug_assertions, ignore = "simulation-scale test; run with --release")]
+fn sweep_output_is_independent_of_jobs() {
+    let scenario = Scenario::by_name("failover").unwrap();
+    let run_sweep = |jobs: usize| -> Vec<String> {
+        let cells = (40..44u64)
+            .map(|seed| {
+                let plan = scenario.plan(seed);
+                Box::new(move || run_case(&plan).to_json())
+                    as Box<dyn FnOnce() -> String + Send>
+            })
+            .collect();
+        run_cells_with(jobs, cells)
+    };
+    assert_eq!(run_sweep(1), run_sweep(4));
+}
+
+/// Explorer-scale sweep: 100 seeds across two scenarios, all clean.
+#[test]
+#[ignore = "explorer-scale; run via the check-long CI job (cargo test --release -- --ignored)"]
+fn explorer_sweep_stays_clean() {
+    for name in ["failover", "chaos"] {
+        let scenario = Scenario::by_name(name).unwrap();
+        let plans: Vec<CasePlan> = (0..50).map(|seed| scenario.plan(seed)).collect();
+        let cells = plans
+            .iter()
+            .cloned()
+            .map(|plan| {
+                Box::new(move || run_case(&plan)) as Box<dyn FnOnce() -> CheckReport + Send>
+            })
+            .collect();
+        let reports = run_cells_with(8, cells);
+        for (plan, report) in plans.iter().zip(&reports) {
+            assert!(
+                report.is_clean(),
+                "scenario {} seed {} violated:\n{}",
+                name,
+                plan.seed,
+                report.to_json()
+            );
+        }
+    }
+}

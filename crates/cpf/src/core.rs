@@ -716,11 +716,27 @@ impl CpfCore {
     /// CTA → primary: a completed procedure's checkpoint is missing replica
     /// ACKs (lost sync or lost ACK) — re-send it. The *current* stored
     /// version is re-checkpointed; cumulative ACKs at the CTA make it cover
-    /// the requested procedure and everything before it.
+    /// the requested procedure and everything before it. When this CPF's own
+    /// copy has not reached the requested procedure (it missed messages
+    /// itself — e.g. the procedure's final forward was lost in transit), it
+    /// reports back so the CTA can replay its log instead of re-asking
+    /// forever.
     pub fn on_resync(&mut self, ue: UeId, procedure: ProcedureId, cta: CtaId) -> Vec<CpfOutput> {
         let version = match self.store.get(ue) {
             Some(rec) if rec.state.version.procedure >= procedure => rec.state.version,
-            _ => return Vec::new(),
+            other => {
+                let have = other
+                    .map(|r| r.state.version.procedure)
+                    .unwrap_or(ProcedureId::new(0));
+                return vec![CpfOutput::ToCta {
+                    cta,
+                    msg: SysMsg::ResyncBehind {
+                        ue,
+                        have,
+                        cpf: self.config.id,
+                    },
+                }];
+            }
         };
         self.metrics.resyncs_answered += 1;
         self.checkpoint(ue, version.procedure, version.clock, cta)
@@ -1403,13 +1419,25 @@ mod tests {
             assert_eq!(s.purpose, SyncPurpose::Checkpoint);
         }
         assert_eq!(cpf.metrics().resyncs_answered, 1);
-        // A resync for a UE we know nothing about is ignored.
+        // A resync for a UE this CPF holds no copy of (it missed the
+        // messages entirely) reports back how far behind it is, so the CTA
+        // can replay its log instead of re-asking forever.
         let outs = cpf.handle(SysMsg::ResyncRequest {
             ue: UeId::new(99),
             procedure: ProcedureId::new(1),
             cta: CtaId::new(0),
         });
-        assert!(outs.is_empty());
+        assert_eq!(
+            outs,
+            vec![CpfOutput::ToCta {
+                cta: CtaId::new(0),
+                msg: SysMsg::ResyncBehind {
+                    ue: UeId::new(99),
+                    have: ProcedureId::new(0),
+                    cpf: CpfId::new(0),
+                },
+            }]
+        );
         assert_eq!(cpf.metrics().resyncs_answered, 1);
     }
 

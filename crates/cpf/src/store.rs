@@ -52,6 +52,13 @@ impl StateStore {
         self.records.get(&ue)
     }
 
+    /// Read-only iteration over every held record (invariant oracles;
+    /// iteration order is unspecified — callers that need determinism must
+    /// sort).
+    pub fn iter(&self) -> impl Iterator<Item = (&UeId, &UeRecord)> {
+        self.records.iter()
+    }
+
     /// Write access.
     pub fn get_mut(&mut self, ue: UeId) -> Option<&mut UeRecord> {
         self.records.get_mut(&ue)

@@ -113,6 +113,10 @@ pub struct CtaMetrics {
     /// Checkpoint resends requested from primaries (exponential backoff)
     /// for completed procedures still missing replica ACKs.
     pub resyncs_requested: u64,
+    /// Log replays sent to a primary that reported itself *behind* the
+    /// procedure a resync request named (it missed the messages, so it had
+    /// nothing to re-checkpoint).
+    pub resyncs_replayed: u64,
 }
 
 /// The Control Traffic Aggregator state machine.
@@ -230,6 +234,7 @@ impl CtaCore {
                 Direction::Downlink => self.on_downlink(env, now),
             },
             SysMsg::SyncAck(ack) => self.on_sync_ack(ack, now),
+            SysMsg::ResyncBehind { ue, have, cpf } => self.on_resync_behind(ue, have, cpf),
             SysMsg::DdnRequest { ue, upf } => self.on_ddn(ue, upf),
             SysMsg::CpfFailure { cpf } => self.on_cpf_failure(cpf, now),
             SysMsg::RelayReAttach { ue, bs } => {
@@ -259,9 +264,15 @@ impl CtaCore {
         {
             let ue_log = self.log.ue_mut(ue);
             ue_log.last_bs = env.bs;
+            // A reordered or duplicated straggler from an already-completed
+            // procedure must not (re-)mark the UE as mid-procedure: a stale
+            // `in_flight` makes the failure handler "recover" a procedure
+            // that already finished.
             if env.end_of_procedure {
-                ue_log.in_flight = None;
-            } else {
+                if ue_log.in_flight.is_none_or(|(p, _)| p <= env.procedure) {
+                    ue_log.in_flight = None;
+                }
+            } else if env.procedure > ue_log.last_completed {
                 ue_log.in_flight = Some((env.procedure, env.bs));
             }
         }
@@ -326,7 +337,10 @@ impl CtaCore {
         env.via_cta = Some(self.config.id);
         if env.end_of_procedure {
             self.log.complete(env.ue, env.procedure, tick, now);
-            self.log.ue_mut(env.ue).in_flight = None;
+            let ue_log = self.log.ue_mut(env.ue);
+            if ue_log.in_flight.is_none_or(|(p, _)| p <= env.procedure) {
+                ue_log.in_flight = None;
+            }
         }
         self.metrics.forwarded_downlink += 1;
         vec![CtaOutput::ToBs {
@@ -341,6 +355,31 @@ impl CtaCore {
         let expected = self.expected_ack_set(ack.ue);
         self.log.ack(ack.ue, ack.procedure, ack.replica, &expected);
         Vec::new()
+    }
+
+    /// A primary answered a resync request by admitting its copy is *behind*
+    /// the procedure the CTA is waiting on — it missed the messages (e.g.
+    /// the final forward of the procedure was lost) and cannot re-checkpoint
+    /// what it never saw. Replay the log to bring it up to date; processing
+    /// the replayed messages makes the primary complete the procedure,
+    /// commit, and checkpoint to its backups, whose ACKs then prune the log.
+    pub fn on_resync_behind(&mut self, ue: UeId, have: ProcedureId, cpf: CpfId) -> Vec<CtaOutput> {
+        if !self.config.logging
+            || self.failed.contains(&cpf)
+            || self.primary_for(ue) != Some(cpf)
+            || !self.log.replay_covers(ue, have)
+        {
+            return Vec::new();
+        }
+        let messages = self.log.replay_set(ue, have);
+        if messages.is_empty() {
+            return Vec::new();
+        }
+        self.metrics.resyncs_replayed += 1;
+        vec![CtaOutput::ToCpf {
+            cpf,
+            msg: SysMsg::Replay(Replay { ue, messages }),
+        }]
     }
 
     /// Reacts to a CPF failure notice: takes the CPF out of the rings, then
@@ -999,6 +1038,66 @@ mod tests {
         }
         assert!(c.scan(Instant::from_secs(20)).is_empty());
         assert_eq!(c.log_bytes(), 0);
+    }
+
+    #[test]
+    fn resync_behind_primary_gets_a_log_replay() {
+        let mut c = cta();
+        let ue = UeId::new(3);
+        // Procedure 1 completes at the CTA, but the primary missed its
+        // final message (lost in transit): its copy never reached v1, so
+        // the resync chase's re-checkpoint request cannot be answered.
+        c.on_uplink(ul(3, 1, MessageKind::ServiceRequest, false), Instant::ZERO);
+        c.on_uplink(
+            ul(3, 1, MessageKind::InitialContextSetupResponse, true),
+            Instant::ZERO,
+        );
+        let primary = c.primary_for(ue).unwrap();
+        let outs = c.on_resync_behind(ue, ProcedureId::new(0), primary);
+        let replay = outs
+            .iter()
+            .find_map(|o| match o {
+                CtaOutput::ToCpf {
+                    cpf,
+                    msg: SysMsg::Replay(r),
+                } => Some((*cpf, r.clone())),
+                _ => None,
+            })
+            .expect("behind primary must get a replay");
+        assert_eq!(replay.0, primary);
+        assert_eq!(replay.1.messages.len(), 2, "both logged messages replay");
+        assert_eq!(c.metrics().resyncs_replayed, 1);
+        // A report from a CPF that is no longer the UE's primary is stale:
+        // replaying to it would fork the serving copy.
+        assert!(c.on_resync_behind(ue, ProcedureId::new(0), CpfId::new(99)).is_empty());
+    }
+
+    #[test]
+    fn straggler_from_completed_procedure_does_not_mark_ue_in_flight() {
+        let mut c = cta();
+        let ue = UeId::new(3);
+        // Procedure 1 completes, then a reordered non-final message of the
+        // same procedure arrives late.
+        c.on_uplink(ul(3, 1, MessageKind::ServiceRequest, true), Instant::ZERO);
+        c.on_uplink(ul(3, 1, MessageKind::ServiceRequest, false), Instant::ZERO);
+        assert_eq!(
+            c.log().ue(ue).unwrap().in_flight,
+            None,
+            "a straggler from a finished procedure must not re-open it"
+        );
+        // A genuinely new procedure still marks the UE in flight, and a
+        // late end-of-procedure straggler from procedure 1 must not clear
+        // the newer procedure's marker.
+        c.on_uplink(ul(3, 2, MessageKind::ServiceRequest, false), Instant::ZERO);
+        assert_eq!(
+            c.log().ue(ue).unwrap().in_flight.map(|(p, _)| p),
+            Some(ProcedureId::new(2))
+        );
+        c.on_uplink(ul(3, 1, MessageKind::ServiceRequest, true), Instant::ZERO);
+        assert_eq!(
+            c.log().ue(ue).unwrap().in_flight.map(|(p, _)| p),
+            Some(ProcedureId::new(2))
+        );
     }
 
     #[test]

@@ -32,6 +32,21 @@ pub struct ProcedureLog {
 }
 
 impl ProcedureLog {
+    /// Whether this procedure's logged messages begin with the first step of
+    /// an attach-class procedure. Such a procedure rebuilds the UE's state
+    /// *from scratch* (§4.2.1) — replaying it needs no prior copy, so its
+    /// presence in the log re-anchors replay coverage regardless of how far
+    /// behind the target replica is.
+    pub fn is_attach_reset(&self) -> bool {
+        self.messages.first().is_some_and(|env| {
+            matches!(
+                env.proc_kind,
+                neutrino_messages::ProcedureKind::InitialAttach
+                    | neutrino_messages::ProcedureKind::ReAttach
+            ) && env.msg.kind() == env.proc_kind.template().steps[0].kind
+        })
+    }
+
     fn new(now: Instant) -> Self {
         ProcedureLog {
             messages: Vec::new(),
@@ -54,6 +69,13 @@ pub struct UeLog {
     pub synced_through: HashMap<CpfId, ProcedureId>,
     /// Last procedure observed to complete.
     pub last_completed: ProcedureId,
+    /// Highest procedure whose messages were removed from the log (pruned
+    /// on ACK convergence or timeout). A replay can fully rebuild state
+    /// only from a base at or above this floor — anything below would need
+    /// messages no longer held. Procedure ids *never seen here* (the UE
+    /// consumed an id without any message reaching this CTA) are not gaps:
+    /// only actual removals raise the floor.
+    pub replay_floor: ProcedureId,
     /// The procedure currently in flight (set on uplink, cleared when the
     /// end-of-procedure message passes), with the UE's BS — used to recover
     /// stuck UEs after a CPF failure even when message logging is off.
@@ -68,6 +90,7 @@ impl Default for UeLog {
             procedures: BTreeMap::new(),
             synced_through: HashMap::new(),
             last_completed: ProcedureId(0),
+            replay_floor: ProcedureId(0),
             in_flight: None,
             last_bs: neutrino_common::BsId::new(0),
         }
@@ -180,8 +203,12 @@ impl MessageLog {
                     || entry.acks.len() >= expected.len())
             {
                 let freed = entry.bytes;
+                let had_messages = !entry.messages.is_empty();
                 ue_log.procedures.remove(&p);
                 self.bytes -= freed;
+                if had_messages && p > ue_log.replay_floor {
+                    ue_log.replay_floor = p;
+                }
                 pruned = true;
             }
         }
@@ -206,6 +233,9 @@ impl MessageLog {
         if let Some(ue_log) = self.ues.get_mut(&ue) {
             if let Some(entry) = ue_log.procedures.remove(&proc) {
                 self.bytes -= entry.bytes;
+                if !entry.messages.is_empty() && proc > ue_log.replay_floor {
+                    ue_log.replay_floor = proc;
+                }
                 return entry.bytes;
             }
         }
@@ -225,20 +255,28 @@ impl MessageLog {
         out
     }
 
-    /// True when every procedure after `since` still has its messages
-    /// logged (i.e. a replay from `since` loses nothing).
+    /// True when a replay from base `since` can rebuild the UE's state up to
+    /// `last_completed` — i.e. the log still holds everything the replica
+    /// would miss.
+    ///
+    /// Coverage is judged against [`UeLog::replay_floor`], not by scanning
+    /// for contiguous procedure ids: UEs consume ids for attempts whose
+    /// messages never reach the CTA (abandoned before the first send, or
+    /// every message lost), and such *phantom* ids must not read as
+    /// unclosable gaps. Only messages actually removed from the log raise
+    /// the floor. A logged attach-class procedure additionally re-anchors
+    /// coverage from scratch (see [`ProcedureLog::is_attach_reset`]), since
+    /// replaying it needs no base at all.
     pub fn replay_covers(&self, ue: UeId, since: ProcedureId) -> bool {
         let ue_log = match self.ues.get(&ue) {
             Some(l) => l,
             None => return false,
         };
-        // Every completed procedure after `since` must still be present.
-        for p in (since.raw() + 1)..=ue_log.last_completed.raw() {
-            if !ue_log.procedures.contains_key(&ProcedureId(p)) {
-                return false;
-            }
-        }
-        true
+        since >= ue_log.replay_floor
+            || ue_log
+                .procedures
+                .iter()
+                .any(|(p, e)| *p >= ue_log.replay_floor && e.is_attach_reset())
     }
 
     /// Iterates UEs with logged state (for the pruning scan).
@@ -314,6 +352,56 @@ mod tests {
         log.drop_procedure(ue, ProcedureId::new(1));
         assert!(!log.replay_covers(ue, ProcedureId(0)));
         assert!(log.replay_covers(ue, ProcedureId::new(1)));
+    }
+
+    #[test]
+    fn phantom_procedure_ids_are_not_replay_gaps() {
+        // The UE consumed procedure id 2 without a single message reaching
+        // the CTA (abandoned before the first send, or all messages lost),
+        // then completed procedure 3. The missing id must not read as an
+        // unclosable gap: nothing was ever logged for it, so nothing was
+        // lost.
+        let mut log = MessageLog::new();
+        let ue = UeId::new(1);
+        log.append(env(1, 1, 1), 10, Instant::ZERO);
+        log.complete(ue, ProcedureId::new(1), ClockTick(1), Instant::ZERO);
+        log.append(env(1, 3, 2), 10, Instant::ZERO);
+        log.complete(ue, ProcedureId::new(3), ClockTick(2), Instant::ZERO);
+        assert!(log.replay_covers(ue, ProcedureId(0)));
+        assert!(log.replay_covers(ue, ProcedureId::new(1)));
+        // Once procedure 1's messages are actually removed, bases below it
+        // genuinely cannot close any more.
+        log.drop_procedure(ue, ProcedureId::new(1));
+        assert!(!log.replay_covers(ue, ProcedureId(0)));
+        assert!(log.replay_covers(ue, ProcedureId::new(1)));
+    }
+
+    #[test]
+    fn logged_attach_re_anchors_replay_coverage() {
+        let mut log = MessageLog::new();
+        let ue = UeId::new(1);
+        // Procedure 1 completed and its messages were pruned: the floor
+        // rises to 1 and a base of 0 cannot normally close.
+        log.append(env(1, 1, 1), 10, Instant::ZERO);
+        log.complete(ue, ProcedureId::new(1), ClockTick(1), Instant::ZERO);
+        log.drop_procedure(ue, ProcedureId::new(1));
+        assert!(!log.replay_covers(ue, ProcedureId(0)));
+        // A logged re-attach rebuilds state from scratch: coverage holds
+        // again from any base, including none at all.
+        let mut attach = Envelope::uplink(
+            ue,
+            ProcedureId::new(2),
+            ProcedureKind::ReAttach,
+            ProcedureKind::ReAttach.template().steps[0].kind.sample(1),
+        );
+        attach.clock = ClockTick(2);
+        log.append(attach, 10, Instant::ZERO);
+        log.complete(ue, ProcedureId::new(2), ClockTick(2), Instant::ZERO);
+        assert!(log.replay_covers(ue, ProcedureId(0)));
+        // Pruning the attach itself removes the anchor again.
+        log.drop_procedure(ue, ProcedureId::new(2));
+        assert!(!log.replay_covers(ue, ProcedureId(0)));
+        assert!(log.replay_covers(ue, ProcedureId::new(2)));
     }
 
     #[test]

@@ -201,6 +201,18 @@ pub enum SysMsg {
         /// The CTA waiting for the ACKs.
         cta: CtaId,
     },
+    /// Primary CPF → CTA: a resync request named a procedure this primary's
+    /// own copy has not reached — it missed messages itself (e.g. the
+    /// procedure's final forward was lost) and cannot re-checkpoint. The
+    /// CTA answers by replaying its log so the primary can catch up.
+    ResyncBehind {
+        /// The UE concerned.
+        ue: UeId,
+        /// The procedure the primary's copy is actually at.
+        have: ProcedureId,
+        /// The CPF that is behind.
+        cpf: CpfId,
+    },
 }
 
 impl SysMsg {
@@ -223,6 +235,7 @@ impl SysMsg {
             SysMsg::DdnRequest { .. } => "ddn-request",
             SysMsg::CpfFailure { .. } => "cpf-failure",
             SysMsg::ResyncRequest { .. } => "resync-request",
+            SysMsg::ResyncBehind { .. } => "resync-behind",
         }
     }
 }

@@ -41,6 +41,39 @@ proptest! {
         }
     }
 
+    /// Every kind — exhaustively, not sampled — survives
+    /// encode→decode→re-encode with *byte-identical* output through PER
+    /// and both fastbuf flavors. Equality of the decoded message (above)
+    /// is weaker: an encoder could emit different-but-decodable bytes per
+    /// call (unstable field order, redundant presence bits) and still pass,
+    /// which would break the simulator's byte-reproducibility story.
+    #[test]
+    fn every_kind_reencodes_byte_identically(seed in any::<u64>()) {
+        for &kind in MessageKind::ALL {
+            let msg = kind.sample(seed);
+            let schema = kind.schema();
+            for codec_kind in [CodecKind::Asn1Per, CodecKind::Fastbuf, CodecKind::FastbufOptimized] {
+                let codec = codec_kind.instance();
+                if !codec.supports(&schema) {
+                    continue;
+                }
+                let mut first = Vec::new();
+                msg.encode(codec.as_ref(), &mut first).unwrap();
+                let back = ControlMessage::decode(kind, codec.as_ref(), &first).unwrap();
+                prop_assert_eq!(&back, &msg, "{} via {} decode", kind, codec_kind);
+                let mut second = Vec::new();
+                back.encode(codec.as_ref(), &mut second).unwrap();
+                prop_assert_eq!(
+                    &first,
+                    &second,
+                    "{} via {}: re-encode must be byte-identical",
+                    kind,
+                    codec_kind
+                );
+            }
+        }
+    }
+
     /// PER stays the smallest encoding for every message and seed.
     #[test]
     fn per_is_size_floor(kind in any_kind(), seed in any::<u64>()) {

@@ -606,6 +606,16 @@ impl<M: Clone + 'static> Sim<M> {
     pub fn run_to_completion(&mut self) -> Instant {
         self.run_until(Instant::FAR_FUTURE)
     }
+
+    /// Time of the next scheduled event, if any. A checking harness that
+    /// pauses the run at fixed invariant intervals uses this to skip over
+    /// stretches of empty virtual time (long drain tails, sparse periodic
+    /// timers) without perturbing the event stream: between two events the
+    /// cluster state cannot change, so a skipped pause would have observed
+    /// exactly what the previous one did.
+    pub fn next_event_at(&self) -> Option<Instant> {
+        self.queue.peek().map(|e| e.at)
+    }
 }
 
 #[cfg(test)]

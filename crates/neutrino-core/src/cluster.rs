@@ -307,6 +307,28 @@ impl Cluster {
         self.sim.run_to_completion();
     }
 
+    /// The UE-population node (read-mostly access for invariant oracles).
+    pub fn population(&mut self) -> &mut UePopulation {
+        self.sim
+            .node_as::<UePopulation>(UEPOP_NODE)
+            .expect("population exists")
+    }
+
+    /// Total messages dropped at down or crashed nodes across the whole
+    /// deployment (the bounded-retry oracle's drop budget).
+    pub fn total_node_drops(&self) -> u64 {
+        let mut ids = vec![UEPOP_NODE];
+        for region in self.deployment.regions() {
+            ids.push(cta_node(region.cta));
+            ids.extend(region.cpfs.iter().map(|&c| cpf_node(c)));
+            ids.extend(region.upfs.iter().map(|&u| upf_node(u)));
+        }
+        ids.into_iter()
+            .filter_map(|id| self.sim.stats(id))
+            .map(|s| s.dropped_down + s.dropped_crash)
+            .sum()
+    }
+
     /// Extracts the UE population's results.
     pub fn take_results(&mut self) -> UePopResults {
         self.sim
@@ -374,6 +396,7 @@ impl Cluster {
                 agg.outdated_notices += m.outdated_notices;
                 agg.timeout_pruned += m.timeout_pruned;
                 agg.resyncs_requested += m.resyncs_requested;
+                agg.resyncs_replayed += m.resyncs_replayed;
             }
         }
         agg

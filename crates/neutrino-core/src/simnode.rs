@@ -128,7 +128,8 @@ fn raw_cpf_service_time(config: &SystemConfig, msg: &SysMsg) -> Duration {
         | SysMsg::MarkOutdated(_)
         | SysMsg::FetchState { .. }
         | SysMsg::SyncAck(_)
-        | SysMsg::ResyncRequest { .. } => Duration::from_nanos(300),
+        | SysMsg::ResyncRequest { .. }
+        | SysMsg::ResyncBehind { .. } => Duration::from_nanos(300),
         _ => Duration::from_nanos(200),
     }
 }

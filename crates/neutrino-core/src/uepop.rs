@@ -210,6 +210,30 @@ impl UePopulation {
         &self.results
     }
 
+    /// Number of procedures currently in flight.
+    pub fn active_count(&self) -> usize {
+        self.active.len()
+    }
+
+    /// Read-only snapshot of every in-flight procedure, sorted by UE id:
+    /// `(ue, started, last_progress, retries)`. Mid-run liveness oracles
+    /// use `last_progress` to bound how long a UE may sit without the
+    /// retry machinery moving it forward.
+    pub fn active_procedures(&self) -> Vec<(UeId, Instant, Instant, u32)> {
+        let mut v: Vec<_> = self
+            .active
+            .iter()
+            .map(|(ue, a)| (*ue, a.started, a.last_progress, a.retries))
+            .collect();
+        v.sort_by_key(|e| e.0.raw());
+        v
+    }
+
+    /// The population's configuration (retry policy, routes).
+    pub fn config(&self) -> &UePopConfig {
+        &self.config
+    }
+
     fn route(&self, ue: UeId) -> (BsId, CtaId) {
         let idx = self.route_override.get(&ue).copied().unwrap_or(0);
         let r = &self.config.routes[idx % self.config.routes.len()];

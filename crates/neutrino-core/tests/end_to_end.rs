@@ -205,9 +205,32 @@ fn neutrino_converges_under_link_faults_and_failure() {
         results.completed,
         results.skipped_busy
     );
+    // Pin the fault counters to bands around the seed-11 values (24 drops,
+    // 23 duplicates, 58 reorders): `> 0` alone would still pass if the
+    // fault layer were silently disabled for one fault class, or if a
+    // regression made it fire an order of magnitude too often.
     assert!(
-        results.sim.dropped_loss > 0,
-        "the fault layer must actually have dropped messages"
+        (12..=48).contains(&results.sim.dropped_loss),
+        "loss drops out of band: {}",
+        results.sim.dropped_loss
+    );
+    assert!(
+        (11..=46).contains(&results.sim.duplicated),
+        "duplicates out of band: {}",
+        results.sim.duplicated
+    );
+    assert!(
+        (29..=116).contains(&results.sim.reordered),
+        "reorders out of band: {}",
+        results.sim.reordered
+    );
+    assert_eq!(
+        results.sim.dropped_partition, 0,
+        "no partitions are configured in this run"
+    );
+    assert_eq!(
+        results.cta.timeout_pruned, 0,
+        "no procedure's replication may be pruned as timed out"
     );
     assert!(
         results.retransmissions > 0,

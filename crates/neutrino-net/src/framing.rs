@@ -36,6 +36,7 @@ const TAG_CPF_FAILURE: u8 = 13;
 const TAG_DOWNLINK_DATA: u8 = 14;
 const TAG_DDN: u8 = 15;
 const TAG_RESYNC_REQUEST: u8 = 16;
+const TAG_RESYNC_BEHIND: u8 = 17;
 
 fn err(detail: impl Into<String>) -> Error {
     Error::codec("framing", detail.into())
@@ -284,6 +285,12 @@ pub fn encode_sysmsg(msg: &SysMsg, codec_kind: CodecKind) -> Result<Vec<u8>> {
             buf.put_u64(procedure.raw());
             buf.put_u64(cta.raw());
         }
+        SysMsg::ResyncBehind { ue, have, cpf } => {
+            buf.put_u8(TAG_RESYNC_BEHIND);
+            buf.put_u64(ue.raw());
+            buf.put_u64(have.raw());
+            buf.put_u64(cpf.raw());
+        }
     }
     Ok(buf.to_vec())
 }
@@ -492,6 +499,14 @@ pub fn decode_sysmsg(frame: &[u8], codec_kind: CodecKind) -> Result<SysMsg> {
                 cta: CtaId::new(buf.get_u64()),
             }
         }
+        TAG_RESYNC_BEHIND => {
+            need(&buf, 24)?;
+            SysMsg::ResyncBehind {
+                ue: UeId::new(buf.get_u64()),
+                have: ProcedureId::new(buf.get_u64()),
+                cpf: CpfId::new(buf.get_u64()),
+            }
+        }
         other => return Err(err(format!("unknown frame tag {other}"))),
     };
     Ok(msg)
@@ -642,6 +657,14 @@ mod tests {
                 ue: UeId::new(4),
                 procedure: ProcedureId::new(7),
                 cta: CtaId::new(1),
+            },
+            CodecKind::Asn1Per,
+        );
+        round_trip(
+            SysMsg::ResyncBehind {
+                ue: UeId::new(4),
+                have: ProcedureId::new(2),
+                cpf: CpfId::new(3),
             },
             CodecKind::Asn1Per,
         );
