@@ -19,6 +19,7 @@
 //!   experiment (Fig. 3).
 
 #![forbid(unsafe_code)]
+#![deny(unreachable_pub)]
 #![warn(missing_docs)]
 
 pub mod deadline;

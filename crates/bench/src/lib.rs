@@ -11,6 +11,7 @@
 //! saturation knees fall) is the reproduction target.
 
 #![forbid(unsafe_code)]
+#![deny(unreachable_pub)]
 #![warn(missing_docs)]
 
 pub mod figures;

@@ -27,6 +27,7 @@
 //! outcome is byte-identical for any `--jobs`.
 
 #![forbid(unsafe_code)]
+#![deny(unreachable_pub)]
 #![warn(missing_docs)]
 
 pub mod corpus;

@@ -116,6 +116,7 @@ pub fn measure(
 fn median_batch_ns(opts: CalibrationOptions, mut op: impl FnMut()) -> Duration {
     let mut per_op: Vec<u64> = Vec::with_capacity(opts.batches as usize);
     for _ in 0..opts.batches {
+        // lint-allow(wall-clock): calibration measures real host CPU time by design (offline, never inside a simulation)
         let start = std::time::Instant::now();
         for _ in 0..opts.iters_per_batch {
             op();

@@ -34,6 +34,7 @@
 //! Fig. 18/19 harnesses measure `encode + traverse`.
 
 #![forbid(unsafe_code)]
+#![deny(unreachable_pub)]
 #![warn(missing_docs)]
 
 pub mod bits;

@@ -17,6 +17,7 @@
 //!   experiment harness.
 
 #![forbid(unsafe_code)]
+#![deny(unreachable_pub)]
 #![warn(missing_docs)]
 
 pub mod clock;

@@ -15,7 +15,7 @@ use neutrino_messages::sysmsg::{
     SysMsg,
 };
 use neutrino_messages::Wire;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// When UE state is checkpointed to backups (§4.2.2, ablated in Fig. 15).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -192,7 +192,7 @@ struct Progress {
 pub struct CpfCore {
     config: CpfConfig,
     store: StateStore,
-    progress: HashMap<UeId, Progress>,
+    progress: BTreeMap<UeId, Progress>,
     metrics: CpfMetrics,
 }
 
@@ -202,7 +202,7 @@ impl CpfCore {
         CpfCore {
             config,
             store: StateStore::new(),
-            progress: HashMap::new(),
+            progress: BTreeMap::new(),
             metrics: CpfMetrics::default(),
         }
     }

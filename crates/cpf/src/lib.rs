@@ -11,6 +11,7 @@
 //! real-time driver.
 
 #![forbid(unsafe_code)]
+#![deny(unreachable_pub)]
 #![warn(missing_docs)]
 
 pub mod core;

@@ -3,7 +3,7 @@
 use neutrino_common::clock::ClockTick;
 use neutrino_common::UeId;
 use neutrino_messages::state::UeState;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Whether a stored UE state may serve traffic (§4.2.4).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -28,7 +28,7 @@ pub struct UeRecord {
 /// The store: UE id → record.
 #[derive(Debug, Default)]
 pub struct StateStore {
-    records: HashMap<UeId, UeRecord>,
+    records: BTreeMap<UeId, UeRecord>,
 }
 
 impl StateStore {
@@ -52,9 +52,8 @@ impl StateStore {
         self.records.get(&ue)
     }
 
-    /// Read-only iteration over every held record (invariant oracles;
-    /// iteration order is unspecified — callers that need determinism must
-    /// sort).
+    /// Read-only iteration over every held record (invariant oracles),
+    /// in UE-id order.
     pub fn iter(&self) -> impl Iterator<Item = (&UeId, &UeRecord)> {
         self.records.iter()
     }

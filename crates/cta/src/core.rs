@@ -9,7 +9,7 @@ use neutrino_geo::RingStack;
 use neutrino_messages::costs::CostTable;
 use neutrino_messages::sysmsg::{MarkOutdated, Replay, SyncAck, SysMsg};
 use neutrino_messages::{Direction, Envelope};
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// What the CTA does when a UE's primary CPF is down.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -129,11 +129,11 @@ pub struct CtaCore {
     /// by failover promotions and re-attaches. Stable assignment is what
     /// lets a backup "become primary" (§4.1) instead of the ring silently
     /// remapping the UE to a CPF with no state.
-    assigned: HashMap<UeId, CpfId>,
+    assigned: BTreeMap<UeId, CpfId>,
     /// Backup sets are ring-deterministic but cached for stable expectation
     /// sets even as the ring changes.
-    backups_cache: HashMap<UeId, Vec<CpfId>>,
-    failed: HashSet<CpfId>,
+    backups_cache: BTreeMap<UeId, Vec<CpfId>>,
+    failed: BTreeSet<CpfId>,
     costs: &'static CostTable,
     metrics: CtaMetrics,
 }
@@ -146,9 +146,9 @@ impl CtaCore {
             ring,
             clock: neutrino_common::LogicalClock::new(),
             log: MessageLog::new(),
-            assigned: HashMap::new(),
-            backups_cache: HashMap::new(),
-            failed: HashSet::new(),
+            assigned: BTreeMap::new(),
+            backups_cache: BTreeMap::new(),
+            failed: BTreeSet::new(),
             costs: CostTable::baked(),
             metrics: CtaMetrics::default(),
         }
@@ -170,7 +170,7 @@ impl CtaCore {
     }
 
     /// The sticky UE → primary assignments (consistency auditing).
-    pub fn assignments(&self) -> &HashMap<UeId, CpfId> {
+    pub fn assignments(&self) -> &BTreeMap<UeId, CpfId> {
         &self.assigned
     }
 
@@ -421,8 +421,9 @@ impl CtaCore {
         // CPF; stale cache entries would make `expected_ack_set` disagree
         // with what primaries (whose rings get the same removal) now sync.
         self.backups_cache.clear();
-        // The log map iterates in arbitrary (hash) order; recover UEs in id
-        // order so every run emits the same failover message sequence.
+        // The log map iterates in UE-id order (BTreeMap), but keep the
+        // ordering explicit so the failover message sequence stays pinned
+        // even if the collection strategy changes again.
         stuck.sort_unstable_by_key(|env| env.ue);
         stuck_no_log.sort_unstable_by_key(|&(ue, _)| ue);
         let mut out = Vec::new();
@@ -510,8 +511,9 @@ impl CtaCore {
                 }
             }
         }
-        // Hash-order scan: act in (ue, procedure) order so the message
-        // sequence is identical on every run.
+        // Act in (ue, procedure) order so the message sequence is
+        // identical on every run (the log map already iterates in id order;
+        // the sort keeps that invariant explicit).
         completed.sort_unstable();
         let mut expired: Vec<(UeId, ProcedureId)> = Vec::new();
         let mut lagging: Vec<(UeId, ProcedureId)> = Vec::new();
@@ -545,7 +547,7 @@ impl CtaCore {
             }
         }
         let mut out = Vec::new();
-        let mut asked: HashSet<UeId> = HashSet::new();
+        let mut asked: BTreeSet<UeId> = BTreeSet::new();
         // `lagging` is (ue, proc)-sorted, so the *last* entry per UE is its
         // highest pending procedure; cumulative ACKs make one re-checkpoint
         // of the current state cover every earlier procedure too. Bump the

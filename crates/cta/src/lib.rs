@@ -12,6 +12,7 @@
 //! the real-time driver both run the exact same code.
 
 #![forbid(unsafe_code)]
+#![deny(unreachable_pub)]
 #![warn(missing_docs)]
 
 pub mod core;

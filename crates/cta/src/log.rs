@@ -9,7 +9,7 @@ use neutrino_common::clock::ClockTick;
 use neutrino_common::time::Instant;
 use neutrino_common::{CpfId, ProcedureId, UeId};
 use neutrino_messages::Envelope;
-use std::collections::{BTreeMap, HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Log of one procedure's messages and replication progress.
 #[derive(Debug, Clone)]
@@ -21,7 +21,7 @@ pub struct ProcedureLog {
     /// Clock of the procedure's last message, once seen.
     pub end_clock: Option<ClockTick>,
     /// Replicas that ACKed the checkpoint of this procedure.
-    pub acks: HashSet<CpfId>,
+    pub acks: BTreeSet<CpfId>,
     /// When the procedure completed (for the ACK timeout scan).
     pub completed_at: Option<Instant>,
     /// When the first message was logged.
@@ -52,7 +52,7 @@ impl ProcedureLog {
             messages: Vec::new(),
             bytes: 0,
             end_clock: None,
-            acks: HashSet::new(),
+            acks: BTreeSet::new(),
             completed_at: None,
             started_at: now,
             resync_attempts: 0,
@@ -66,7 +66,7 @@ pub struct UeLog {
     /// Procedures with still-logged messages (pruned once fully ACKed).
     pub procedures: BTreeMap<ProcedureId, ProcedureLog>,
     /// Last procedure each replica is known (via ACK) to be synced through.
-    pub synced_through: HashMap<CpfId, ProcedureId>,
+    pub synced_through: BTreeMap<CpfId, ProcedureId>,
     /// Last procedure observed to complete.
     pub last_completed: ProcedureId,
     /// Highest procedure whose messages were removed from the log (pruned
@@ -88,7 +88,7 @@ impl Default for UeLog {
     fn default() -> Self {
         UeLog {
             procedures: BTreeMap::new(),
-            synced_through: HashMap::new(),
+            synced_through: BTreeMap::new(),
             last_completed: ProcedureId(0),
             replay_floor: ProcedureId(0),
             in_flight: None,
@@ -100,7 +100,7 @@ impl Default for UeLog {
 /// The whole in-memory message store, with byte accounting.
 #[derive(Debug, Default)]
 pub struct MessageLog {
-    ues: HashMap<UeId, UeLog>,
+    ues: BTreeMap<UeId, UeLog>,
     bytes: usize,
     max_bytes: usize,
 }

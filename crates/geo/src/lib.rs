@@ -15,6 +15,7 @@
 //!   to a neighboring region finds its state already there.
 
 #![forbid(unsafe_code)]
+#![deny(unreachable_pub)]
 #![warn(missing_docs)]
 
 pub mod geohash;

@@ -1,0 +1,306 @@
+//! Rule family 3: harness coverage of the invariant catalog.
+//!
+//! Every `Invariant` implementation (in `neutrino-core/src/oracle.rs` and
+//! `crates/check/src/invariants.rs`) must be (a) listed in
+//! `ALL_INVARIANTS`, (b) registered — by its catalog-name string literal —
+//! in at least one scenario family in `crates/check/src/scenario.rs`, and
+//! (c) documented by name in TESTING.md. A new invariant that is
+//! implemented but never scheduled would otherwise silently check nothing.
+
+use crate::findings::Finding;
+use crate::lexer::{lex, TokKind, Token};
+
+const RULE: &str = "invariant-coverage";
+
+/// Inputs are (path label, source text) pairs for the four files involved.
+pub fn check(
+    oracle: (&str, &str),
+    invariants: (&str, &str),
+    scenario: (&str, &str),
+    testing_md: (&str, &str),
+) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let oracle_lex = lex(oracle.1);
+    let inv_lex = lex(invariants.1);
+
+    // Catalog-name constants from both files: CONSISTENCY -> "consistency".
+    let mut consts = str_consts(&oracle_lex.tokens);
+    consts.extend(str_consts(&inv_lex.tokens));
+
+    // Every `impl Invariant for T` block, resolved to its catalog name.
+    let mut impls: Vec<(String, String, u32)> = Vec::new(); // (file, name, line)
+    for (path, lexed) in [(oracle.0, &oracle_lex), (invariants.0, &inv_lex)] {
+        for (name, line) in impl_invariant_names(&lexed.tokens, &consts) {
+            impls.push((path.to_string(), name, line));
+        }
+    }
+    if impls.is_empty() {
+        findings.push(Finding {
+            file: oracle.0.into(),
+            line: 1,
+            rule: RULE.into(),
+            message: "found no `impl Invariant for ...` blocks — coverage unverifiable".into(),
+        });
+        return findings;
+    }
+
+    // ALL_INVARIANTS membership (idents resolved through the const map).
+    let all = slice_names(&inv_lex.tokens, "ALL_INVARIANTS", &consts);
+    // Scenario registration: the name must appear as a string literal.
+    let scenario_lits = string_literals(&lex(scenario.1).tokens);
+
+    for (file, name, line) in &impls {
+        if !all.contains(name) {
+            findings.push(Finding {
+                file: file.clone(),
+                line: *line,
+                rule: RULE.into(),
+                message: format!("invariant \"{name}\" is implemented but missing from ALL_INVARIANTS in {}", invariants.0),
+            });
+        }
+        if !scenario_lits.contains(name) {
+            findings.push(Finding {
+                file: file.clone(),
+                line: *line,
+                rule: RULE.into(),
+                message: format!("invariant \"{name}\" is not registered in any scenario family in {}", scenario.0),
+            });
+        }
+        if !testing_md.1.contains(name.as_str()) {
+            findings.push(Finding {
+                file: file.clone(),
+                line: *line,
+                rule: RULE.into(),
+                message: format!("invariant \"{name}\" is not documented in {}", testing_md.0),
+            });
+        }
+    }
+
+    // The reverse direction: a name scheduled by ALL_INVARIANTS with no impl
+    // would panic at runtime — catch it here too.
+    for name in &all {
+        if !impls.iter().any(|(_, n, _)| n == name) {
+            findings.push(Finding {
+                file: invariants.0.into(),
+                line: 1,
+                rule: RULE.into(),
+                message: format!("ALL_INVARIANTS lists \"{name}\" but no impl Invariant resolves to that name"),
+            });
+        }
+    }
+
+    findings
+}
+
+/// Collect `const NAME: &str = "value";` pairs.
+fn str_consts(tokens: &[Token]) -> Vec<(String, String)> {
+    let mut out = Vec::new();
+    for i in 0..tokens.len() {
+        if tokens[i].text != "const" {
+            continue;
+        }
+        let Some(name) = tokens.get(i + 1) else { continue };
+        if name.kind != TokKind::Ident {
+            continue;
+        }
+        // Scan to the `;`, remembering the first string literal.
+        let mut j = i + 2;
+        let mut val = None;
+        let mut is_str = false;
+        while j < tokens.len() && tokens[j].text != ";" {
+            if tokens[j].text == "str" {
+                is_str = true;
+            }
+            if val.is_none() && tokens[j].kind == TokKind::Lit && tokens[j].text.starts_with('"') {
+                val = Some(unquote(&tokens[j].text));
+            }
+            j += 1;
+        }
+        if let (true, Some(v)) = (is_str, val) {
+            out.push((name.text.clone(), v));
+        }
+    }
+    out
+}
+
+/// Find every `impl Invariant for T` block and resolve its `fn name` body to
+/// a catalog-name string (literal, or const ident via `consts`).
+fn impl_invariant_names(tokens: &[Token], consts: &[(String, String)]) -> Vec<(String, u32)> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i + 3 < tokens.len() {
+        if tokens[i].text == "impl" && tokens[i + 1].text == "Invariant" && tokens[i + 2].text == "for"
+        {
+            let impl_line = tokens[i].line;
+            // Brace-match the impl body.
+            let mut j = i + 3;
+            while j < tokens.len() && tokens[j].text != "{" {
+                j += 1;
+            }
+            let open = j;
+            let mut depth = 0usize;
+            while j < tokens.len() {
+                match tokens[j].text.as_str() {
+                    "{" => depth += 1,
+                    "}" => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+            let body = &tokens[open..j.min(tokens.len())];
+            if let Some(name) = fn_name_value(body, consts) {
+                out.push((name, impl_line));
+            }
+            i = j;
+            continue;
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Inside an impl body, find `fn name` and resolve its returned value.
+fn fn_name_value(body: &[Token], consts: &[(String, String)]) -> Option<String> {
+    let pos = body.windows(2).position(|w| w[0].text == "fn" && w[1].text == "name")?;
+    // Scan the fn's body (to its closing brace) for the first resolvable value.
+    let mut j = pos + 2;
+    while j < body.len() && body[j].text != "{" {
+        j += 1;
+    }
+    let mut depth = 0usize;
+    while j < body.len() {
+        match body[j].text.as_str() {
+            "{" => depth += 1,
+            "}" => {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            _ => {
+                if body[j].kind == TokKind::Lit && body[j].text.starts_with('"') {
+                    return Some(unquote(&body[j].text));
+                }
+                if body[j].kind == TokKind::Ident {
+                    if let Some((_, v)) = consts.iter().find(|(n, _)| n == &body[j].text) {
+                        return Some(v.clone());
+                    }
+                }
+            }
+        }
+        j += 1;
+    }
+    None
+}
+
+/// Resolve the contents of `const NAME: &[&str] = [...]` into name strings.
+fn slice_names(tokens: &[Token], slice_name: &str, consts: &[(String, String)]) -> Vec<String> {
+    let mut out = Vec::new();
+    let Some(pos) = tokens
+        .windows(2)
+        .position(|w| w[0].text == "const" && w[1].text == slice_name)
+    else {
+        return out;
+    };
+    let mut j = pos + 2;
+    while j < tokens.len() && tokens[j].text != ";" {
+        if tokens[j].kind == TokKind::Lit && tokens[j].text.starts_with('"') {
+            out.push(unquote(&tokens[j].text));
+        } else if tokens[j].kind == TokKind::Ident {
+            // A path like neutrino_core::oracle::CONSISTENCY resolves by its
+            // final segment — but only when the next token is not `::`
+            // (i.e. this ident IS the final segment).
+            let is_final = match tokens.get(j + 1) {
+                Some(n) => n.text != "::",
+                None => true,
+            };
+            if is_final {
+                if let Some((_, v)) = consts.iter().find(|(n, _)| n == &tokens[j].text) {
+                    out.push(v.clone());
+                }
+            }
+        }
+        j += 1;
+    }
+    out
+}
+
+/// All plain string literals in a token stream, unquoted.
+fn string_literals(tokens: &[Token]) -> Vec<String> {
+    tokens
+        .iter()
+        .filter(|t| t.kind == TokKind::Lit && t.text.starts_with('"'))
+        .map(|t| unquote(&t.text))
+        .collect()
+}
+
+fn unquote(s: &str) -> String {
+    s.trim_matches('"').to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ORACLE: &str = r#"
+pub const CONSISTENCY: &str = "consistency";
+pub trait Invariant { fn name(&self) -> &'static str; }
+pub struct C;
+impl Invariant for C { fn name(&self) -> &'static str { CONSISTENCY } }
+"#;
+    const INVS: &str = r#"
+pub const LOST: &str = "no-lost";
+pub const ALL_INVARIANTS: &[&str] = &[neutrino_core::oracle::CONSISTENCY, LOST];
+pub struct L;
+impl Invariant for L { fn name(&self) -> &'static str { LOST } }
+"#;
+    const SCENARIO: &str = r#"
+const NEUTRINO_INVARIANTS: &[&str] = &["consistency", "no-lost"];
+"#;
+    const TESTING: &str = "The `consistency` and `no-lost` invariants are checked.";
+
+    fn run(oracle: &str, invs: &str, scen: &str, md: &str) -> Vec<Finding> {
+        check(("o.rs", oracle), ("i.rs", invs), ("s.rs", scen), ("TESTING.md", md))
+    }
+
+    #[test]
+    fn full_coverage_passes() {
+        let f = run(ORACLE, INVS, SCENARIO, TESTING);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn unregistered_invariant_fails() {
+        let scen = r#"const NEUTRINO_INVARIANTS: &[&str] = &["consistency"];"#;
+        let f = run(ORACLE, INVS, scen, TESTING);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("not registered in any scenario"));
+        assert!(f[0].message.contains("no-lost"));
+    }
+
+    #[test]
+    fn missing_from_all_invariants_fails() {
+        let invs = INVS.replace(", LOST]", "]");
+        let f = run(ORACLE, &invs, SCENARIO, TESTING);
+        assert!(f.iter().any(|x| x.message.contains("missing from ALL_INVARIANTS")), "{f:?}");
+    }
+
+    #[test]
+    fn undocumented_invariant_fails() {
+        let f = run(ORACLE, INVS, SCENARIO, "Only `consistency` is described.");
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("not documented"));
+    }
+
+    #[test]
+    fn orphan_catalog_name_fails() {
+        let invs = INVS.replace("impl Invariant for L { fn name(&self) -> &'static str { LOST } }", "");
+        let f = run(ORACLE, &invs, SCENARIO, TESTING);
+        assert!(f.iter().any(|x| x.message.contains("no impl Invariant resolves")), "{f:?}");
+    }
+}

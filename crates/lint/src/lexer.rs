@@ -1,0 +1,339 @@
+//! A hand-rolled Rust lexer: just enough to drive the lint rules.
+//!
+//! Produces a flat token stream (identifiers, punctuation, literals) with
+//! 1-based line numbers, plus a separate comment channel so the rules can
+//! match `// lint-allow(...)` suppressions. It understands the lexical
+//! constructs that would otherwise derail a naive scanner: nested block
+//! comments, string/char/byte/raw-string literals, and lifetimes (so
+//! `'a` is not mistaken for an unterminated char literal).
+
+/// What kind of token this is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`HashMap`, `for`, `match`, ...).
+    Ident,
+    /// Punctuation, one char per token except `::` which is kept whole.
+    Punct,
+    /// String, raw-string, char, byte, or numeric literal.
+    Lit,
+    /// A lifetime such as `'static` (kept distinct from char literals).
+    Lifetime,
+}
+
+/// One lexed token.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Token kind.
+    pub kind: TokKind,
+    /// The token text exactly as written (literals keep their quotes).
+    pub text: String,
+    /// 1-based source line the token starts on.
+    pub line: u32,
+}
+
+/// One comment (line or block), on the comment channel.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// Comment text including the `//` / `/*` introducer.
+    pub text: String,
+    /// 1-based source line the comment starts on.
+    pub line: u32,
+}
+
+/// The result of lexing one file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Code tokens in source order.
+    pub tokens: Vec<Token>,
+    /// Comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+/// Lex `src` into tokens + comments. Never fails: unrecognized bytes are
+/// emitted as single-char punctuation so downstream rules stay line-accurate.
+pub fn lex(src: &str) -> Lexed {
+    let b: Vec<char> = src.chars().collect();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+
+    macro_rules! bump_lines {
+        ($s:expr) => {
+            line += $s.chars().filter(|&c| c == '\n').count() as u32
+        };
+    }
+
+    while i < b.len() {
+        let c = b[i];
+        // Whitespace.
+        if c.is_whitespace() {
+            if c == '\n' {
+                line += 1;
+            }
+            i += 1;
+            continue;
+        }
+        // Line comment (covers `//`, `///`, `//!`).
+        if c == '/' && i + 1 < b.len() && b[i + 1] == '/' {
+            let start = i;
+            while i < b.len() && b[i] != '\n' {
+                i += 1;
+            }
+            out.comments.push(Comment {
+                text: b[start..i].iter().collect(),
+                line,
+            });
+            continue;
+        }
+        // Block comment, possibly nested.
+        if c == '/' && i + 1 < b.len() && b[i + 1] == '*' {
+            let start = i;
+            let start_line = line;
+            let mut depth = 1;
+            i += 2;
+            while i < b.len() && depth > 0 {
+                if b[i] == '/' && i + 1 < b.len() && b[i + 1] == '*' {
+                    depth += 1;
+                    i += 2;
+                } else if b[i] == '*' && i + 1 < b.len() && b[i + 1] == '/' {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    if b[i] == '\n' {
+                        line += 1;
+                    }
+                    i += 1;
+                }
+            }
+            out.comments.push(Comment {
+                text: b[start..i].iter().collect(),
+                line: start_line,
+            });
+            continue;
+        }
+        // Raw strings: r"...", r#"..."#, br#"..."# etc.
+        if c == 'r' || c == 'b' {
+            let mut j = i;
+            if b[j] == 'b' && j + 1 < b.len() && b[j + 1] == 'r' {
+                j += 1;
+            }
+            if b[j] == 'r' {
+                let mut k = j + 1;
+                let mut hashes = 0;
+                while k < b.len() && b[k] == '#' {
+                    hashes += 1;
+                    k += 1;
+                }
+                if k < b.len() && b[k] == '"' {
+                    // Scan for the closing `"` followed by `hashes` hashes.
+                    let lit_start = i;
+                    let start_line = line;
+                    k += 1;
+                    loop {
+                        if k >= b.len() {
+                            break;
+                        }
+                        if b[k] == '"' {
+                            let mut h = 0;
+                            while k + 1 + h < b.len() && b[k + 1 + h] == '#' && h < hashes {
+                                h += 1;
+                            }
+                            if h == hashes {
+                                k += 1 + hashes;
+                                break;
+                            }
+                        }
+                        if b[k] == '\n' {
+                            line += 1;
+                        }
+                        k += 1;
+                    }
+                    out.tokens.push(Token {
+                        kind: TokKind::Lit,
+                        text: b[lit_start..k.min(b.len())].iter().collect(),
+                        line: start_line,
+                    });
+                    i = k;
+                    continue;
+                }
+            }
+        }
+        // Identifier / keyword (also eats the `b` of b"..." fallthrough-free
+        // because byte strings are handled below via the quote check).
+        if c == '_' || c.is_alphabetic() {
+            // Byte string b"..." / byte char b'...'.
+            if c == 'b' && i + 1 < b.len() && (b[i + 1] == '"' || b[i + 1] == '\'') {
+                let (tok, ni, nl) = lex_quoted(&b, i + 1, line, b[i + 1]);
+                out.tokens.push(Token {
+                    kind: TokKind::Lit,
+                    text: format!("b{tok}"),
+                    line,
+                });
+                i = ni;
+                line = nl;
+                continue;
+            }
+            let start = i;
+            while i < b.len() && (b[i] == '_' || b[i].is_alphanumeric()) {
+                i += 1;
+            }
+            out.tokens.push(Token {
+                kind: TokKind::Ident,
+                text: b[start..i].iter().collect(),
+                line,
+            });
+            continue;
+        }
+        // Numbers (just enough: digits + alphanumerics + . for floats).
+        if c.is_ascii_digit() {
+            let start = i;
+            while i < b.len()
+                && (b[i].is_alphanumeric()
+                    || b[i] == '_'
+                    || (b[i] == '.' && i + 1 < b.len() && b[i + 1].is_ascii_digit()))
+            {
+                i += 1;
+            }
+            out.tokens.push(Token {
+                kind: TokKind::Lit,
+                text: b[start..i].iter().collect(),
+                line,
+            });
+            continue;
+        }
+        // String literal.
+        if c == '"' {
+            let start_line = line;
+            let (tok, ni, nl) = lex_quoted(&b, i, line, '"');
+            out.tokens.push(Token {
+                kind: TokKind::Lit,
+                text: tok,
+                line: start_line,
+            });
+            i = ni;
+            line = nl;
+            continue;
+        }
+        // Lifetime or char literal.
+        if c == '\'' {
+            // Lifetime: 'ident not followed by a closing quote.
+            if i + 1 < b.len() && (b[i + 1] == '_' || b[i + 1].is_alphabetic()) {
+                let mut k = i + 2;
+                while k < b.len() && (b[k] == '_' || b[k].is_alphanumeric()) {
+                    k += 1;
+                }
+                if k >= b.len() || b[k] != '\'' {
+                    out.tokens.push(Token {
+                        kind: TokKind::Lifetime,
+                        text: b[i..k].iter().collect(),
+                        line,
+                    });
+                    i = k;
+                    continue;
+                }
+            }
+            let start_line = line;
+            let (tok, ni, nl) = lex_quoted(&b, i, line, '\'');
+            out.tokens.push(Token {
+                kind: TokKind::Lit,
+                text: tok,
+                line: start_line,
+            });
+            i = ni;
+            line = nl;
+            continue;
+        }
+        // `::` kept as one token — path matching relies on it.
+        if c == ':' && i + 1 < b.len() && b[i + 1] == ':' {
+            out.tokens.push(Token {
+                kind: TokKind::Punct,
+                text: "::".to_string(),
+                line,
+            });
+            i += 2;
+            continue;
+        }
+        // Everything else: single-char punct.
+        let s: String = c.to_string();
+        bump_lines!(s);
+        out.tokens.push(Token {
+            kind: TokKind::Punct,
+            text: s,
+            line,
+        });
+        i += 1;
+    }
+    out
+}
+
+/// Lex a quoted literal starting at `b[i]` (which is the opening quote).
+/// Returns (text, next index, next line).
+fn lex_quoted(b: &[char], i: usize, mut line: u32, quote: char) -> (String, usize, u32) {
+    let start = i;
+    let mut k = i + 1;
+    while k < b.len() {
+        if b[k] == '\\' {
+            k += 2;
+            continue;
+        }
+        if b[k] == quote {
+            k += 1;
+            break;
+        }
+        if b[k] == '\n' {
+            line += 1;
+        }
+        k += 1;
+    }
+    let k = k.min(b.len());
+    (b[start..k].iter().collect(), k, line)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paths_and_lines() {
+        let l = lex("use std::time::Instant;\nlet x = 1;");
+        let texts: Vec<&str> = l.tokens.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(
+            texts,
+            ["use", "std", "::", "time", "::", "Instant", ";", "let", "x", "=", "1", ";"]
+        );
+        assert_eq!(l.tokens[7].line, 2);
+    }
+
+    #[test]
+    fn lifetimes_vs_chars() {
+        let l = lex("fn f<'a>(x: &'a str) { let c = 'x'; }");
+        assert!(l.tokens.iter().any(|t| t.kind == TokKind::Lifetime && t.text == "'a"));
+        assert!(l.tokens.iter().any(|t| t.kind == TokKind::Lit && t.text == "'x'"));
+    }
+
+    #[test]
+    fn comments_on_own_channel() {
+        let l = lex("let a = 1; // lint-allow(x): ok\n/* multi\nline */ let b = 2;");
+        assert_eq!(l.comments.len(), 2);
+        assert_eq!(l.comments[0].line, 1);
+        assert!(l.comments[0].text.contains("lint-allow"));
+        assert_eq!(l.comments[1].line, 2);
+        // b's `let` is on line 3.
+        let b_let = l.tokens.iter().rposition(|t| t.text == "let").unwrap();
+        assert_eq!(l.tokens[b_let].line, 3);
+    }
+
+    #[test]
+    fn raw_strings_do_not_derail() {
+        let l = lex(r####"let s = r#"contains "quotes" and // not a comment"#; let t = 1;"####);
+        assert!(l.comments.is_empty());
+        assert!(l.tokens.iter().any(|t| t.text == "t"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let l = lex("/* a /* nested */ still comment */ let x = 1;");
+        assert_eq!(l.comments.len(), 1);
+        assert!(l.tokens.iter().any(|t| t.text == "x"));
+    }
+}

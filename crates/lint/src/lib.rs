@@ -1,0 +1,193 @@
+//! `neutrino-lint` — workspace static analysis for the determinism contract.
+//!
+//! Every figure this reproduction produces is trustworthy only because the
+//! sans-IO protocol crates are bit-deterministic from a seed. This crate
+//! machine-checks that contract instead of leaving it to convention:
+//!
+//! 1. **Determinism rules** ([`determinism`]) over the sans-IO crates:
+//!    no wall clocks, threads, sockets, ambient env/RNG, and no iteration
+//!    over `HashMap`/`HashSet` (per-process-random order — the exact class
+//!    behind the PR 2/PR 3 failover-ordering bugs).
+//! 2. **Wire-contract rules** ([`wire`]): the `SysMsg` ⇄ frame-tag mapping
+//!    in `framing.rs` must be total, injective and gap-free in both the
+//!    encoder and the decoder.
+//! 3. **Harness-coverage rules** ([`coverage`]): every `Invariant` impl must
+//!    be in `ALL_INVARIANTS`, registered in a scenario family, and named in
+//!    TESTING.md.
+//!
+//! Suppressions are inline `// lint-allow(<rule>): <reason>` comments or
+//! `crates/lint/allowlist.json`; both are audited for staleness (see
+//! [`findings`]). Run with `cargo run -p neutrino-lint --`; the TESTING.md
+//! "Determinism contract" section is the user-facing rule catalog.
+
+#![forbid(unsafe_code)]
+#![deny(unreachable_pub)]
+#![warn(missing_docs)]
+
+pub mod coverage;
+pub mod determinism;
+pub mod findings;
+pub mod lexer;
+pub mod wire;
+
+use findings::{Allowlist, Finding};
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// The sans-IO crates subject to the determinism rules (crate dir names
+/// under `crates/`). `neutrino-net`, `bench`, `check` and `apps` drive real
+/// time, threads and files by design and are exempt.
+pub const SANS_IO_CRATES: &[&str] = &[
+    "messages",
+    "codec",
+    "cta",
+    "cpf",
+    "upf",
+    "geo",
+    "trafficgen",
+    "netsim",
+    "neutrino-core",
+];
+
+/// Lint one source file against the determinism rules, honouring its inline
+/// `lint-allow` comments (and reporting stale ones). `label` is the path
+/// used in findings.
+pub fn lint_source(label: &str, src: &str) -> Vec<Finding> {
+    let lexed = lexer::lex(src);
+    let tokens = determinism::strip_test_mods(&lexed.tokens);
+    let raw = determinism::check(label, &tokens);
+    let (mut allows, mut out) = findings::parse_inline_allows(label, &lexed.comments);
+    let surviving = findings::apply_inline_allows(raw, &mut allows);
+    out.extend(surviving);
+    out.extend(findings::stale_inline_allows(label, &allows));
+    out
+}
+
+/// Lint the whole workspace rooted at `root`. Returns findings sorted by
+/// (file, line, rule); empty means the tree is clean.
+pub fn lint_workspace(root: &Path) -> Result<Vec<Finding>, String> {
+    let mut all = Vec::new();
+
+    // Family 1: determinism over the sans-IO crates.
+    for krate in SANS_IO_CRATES {
+        let src_dir = root.join("crates").join(krate).join("src");
+        for file in rust_files(&src_dir)? {
+            let src = fs::read_to_string(&file)
+                .map_err(|e| format!("{}: {e}", file.display()))?;
+            let label = rel_label(root, &file);
+            all.extend(lint_source(&label, &src));
+        }
+    }
+
+    // Family 2: wire contract.
+    let sysmsg_path = root.join("crates/messages/src/sysmsg.rs");
+    let framing_path = root.join("crates/neutrino-net/src/framing.rs");
+    let sysmsg = fs::read_to_string(&sysmsg_path)
+        .map_err(|e| format!("{}: {e}", sysmsg_path.display()))?;
+    let framing = fs::read_to_string(&framing_path)
+        .map_err(|e| format!("{}: {e}", framing_path.display()))?;
+    all.extend(wire::check(
+        &rel_label(root, &sysmsg_path),
+        &sysmsg,
+        &rel_label(root, &framing_path),
+        &framing,
+    ));
+
+    // Family 3: invariant coverage.
+    let paths = [
+        root.join("crates/neutrino-core/src/oracle.rs"),
+        root.join("crates/check/src/invariants.rs"),
+        root.join("crates/check/src/scenario.rs"),
+        root.join("TESTING.md"),
+    ];
+    let mut texts = Vec::new();
+    for p in &paths {
+        texts.push(fs::read_to_string(p).map_err(|e| format!("{}: {e}", p.display()))?);
+    }
+    all.extend(coverage::check(
+        (&rel_label(root, &paths[0]), &texts[0]),
+        (&rel_label(root, &paths[1]), &texts[1]),
+        (&rel_label(root, &paths[2]), &texts[2]),
+        (&rel_label(root, &paths[3]), &texts[3]),
+    ));
+
+    // The grandfathered-site allowlist, audited for staleness.
+    let allow_path = root.join("crates/lint/allowlist.json");
+    if allow_path.exists() {
+        let json = fs::read_to_string(&allow_path)
+            .map_err(|e| format!("{}: {e}", allow_path.display()))?;
+        let mut allowlist = Allowlist::parse(&rel_label(root, &allow_path), &json)?;
+        all = allowlist.apply(all);
+        all.extend(allowlist.stale());
+    }
+
+    all.sort_by(|a, b| (&a.file, a.line, &a.rule).cmp(&(&b.file, b.line, &b.rule)));
+    Ok(all)
+}
+
+/// Locate the workspace root by walking up from `start` to the first
+/// directory whose `Cargo.toml` declares `[workspace]`.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = start.to_path_buf();
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+/// All `.rs` files under `dir`, recursively, in sorted order (so output is
+/// stable across filesystems).
+fn rust_files(dir: &Path) -> Result<Vec<PathBuf>, String> {
+    let mut out = Vec::new();
+    let mut stack = vec![dir.to_path_buf()];
+    while let Some(d) = stack.pop() {
+        let entries = fs::read_dir(&d).map_err(|e| format!("{}: {e}", d.display()))?;
+        for entry in entries {
+            let entry = entry.map_err(|e| format!("{}: {e}", d.display()))?;
+            let path = entry.path();
+            if path.is_dir() {
+                stack.push(path);
+            } else if path.extension().is_some_and(|e| e == "rs") {
+                out.push(path);
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// Workspace-relative label for a path (falls back to the full path).
+fn rel_label(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .to_string_lossy()
+        .into_owned()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lint_source_applies_inline_allows() {
+        let dirty = "fn f() { let t = std::time::Instant::now(); }\n";
+        assert_eq!(lint_source("x.rs", dirty).len(), 1);
+        let allowed =
+            "fn f() { let t = std::time::Instant::now(); } // lint-allow(wall-clock): calibration only\n";
+        assert!(lint_source("x.rs", allowed).is_empty());
+    }
+
+    #[test]
+    fn workspace_root_detection() {
+        let here = std::env::current_dir().unwrap();
+        let root = find_workspace_root(&here).expect("in a workspace");
+        assert!(root.join("crates/lint").is_dir());
+    }
+}

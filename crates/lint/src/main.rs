@@ -1,0 +1,80 @@
+//! CLI for `neutrino-lint`.
+//!
+//! ```text
+//! cargo run -p neutrino-lint --                      # lint the whole workspace
+//! neutrino-lint --check-file <file.rs>               # determinism rules on one file
+//! neutrino-lint --wire <sysmsg.rs> <framing.rs>      # wire-contract rules on two files
+//! neutrino-lint --coverage <oracle> <invs> <scen> <testing.md>
+//! ```
+//!
+//! Exit code 0 = clean, 1 = findings, 2 = usage/IO error. The single-file
+//! modes exist for the fixture tests under `tests/fixtures/` and for
+//! spot-checking a file while editing.
+
+use neutrino_lint::findings::Finding;
+use std::path::Path;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        None => workspace(),
+        Some("--check-file") if args.len() == 2 => check_file(&args[1]),
+        Some("--wire") if args.len() == 3 => wire(&args[1], &args[2]),
+        Some("--coverage") if args.len() == 5 => coverage(&args[1..5]),
+        Some("--help" | "-h") => {
+            eprintln!(
+                "usage: neutrino-lint [--check-file FILE | --wire SYSMSG FRAMING | --coverage ORACLE INVARIANTS SCENARIO TESTING_MD]"
+            );
+            return ExitCode::SUCCESS;
+        }
+        _ => Err("unrecognized arguments (try --help)".to_string()),
+    };
+    match result {
+        Err(e) => {
+            eprintln!("neutrino-lint: error: {e}");
+            ExitCode::from(2)
+        }
+        Ok(findings) if findings.is_empty() => {
+            println!("neutrino-lint: clean");
+            ExitCode::SUCCESS
+        }
+        Ok(findings) => {
+            for f in &findings {
+                println!("{}", f.render());
+            }
+            println!("neutrino-lint: {} finding(s)", findings.len());
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn workspace() -> Result<Vec<Finding>, String> {
+    let cwd = std::env::current_dir().map_err(|e| e.to_string())?;
+    let root = neutrino_lint::find_workspace_root(&cwd)
+        .ok_or_else(|| "not inside a cargo workspace".to_string())?;
+    neutrino_lint::lint_workspace(&root)
+}
+
+fn read(path: &str) -> Result<String, String> {
+    std::fs::read_to_string(Path::new(path)).map_err(|e| format!("{path}: {e}"))
+}
+
+fn check_file(path: &str) -> Result<Vec<Finding>, String> {
+    Ok(neutrino_lint::lint_source(path, &read(path)?))
+}
+
+fn wire(sysmsg: &str, framing: &str) -> Result<Vec<Finding>, String> {
+    Ok(neutrino_lint::wire::check(sysmsg, &read(sysmsg)?, framing, &read(framing)?))
+}
+
+fn coverage(paths: &[String]) -> Result<Vec<Finding>, String> {
+    let texts: Result<Vec<String>, String> = paths.iter().map(|p| read(p)).collect();
+    let texts = texts?;
+    Ok(neutrino_lint::coverage::check(
+        (&paths[0], &texts[0]),
+        (&paths[1], &texts[1]),
+        (&paths[2], &texts[2]),
+        (&paths[3], &texts[3]),
+    ))
+}

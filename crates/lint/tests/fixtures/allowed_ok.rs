@@ -1,0 +1,10 @@
+// Fixture: each violation carries a justified lint-allow — file is clean.
+pub fn calibrate() -> u128 {
+    // lint-allow(wall-clock): fixture stand-in for offline calibration
+    let t0 = std::time::Instant::now();
+    t0.elapsed().as_millis()
+}
+use std::collections::HashMap;
+pub fn sum(m: &HashMap<u64, u64>) -> u64 {
+    m.values().sum() // lint-allow(hash-iter): commutative sum, order-free
+}

@@ -1,0 +1,4 @@
+// Fixture: env rule must fire on line 3.
+pub fn jobs() -> usize {
+    std::env::var("JOBS").ok().and_then(|s| s.parse().ok()).unwrap_or(1)
+}

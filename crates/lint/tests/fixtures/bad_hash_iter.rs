@@ -1,0 +1,26 @@
+// Fixture: hash-iter must fire on lines 10, 13 and 18 — not on the
+// BTreeMap iteration (line 22) or the pure lookup (line 26).
+use std::collections::{BTreeMap, HashMap, HashSet};
+pub struct Registry {
+    members: HashMap<u64, String>,
+    ordered: BTreeMap<u64, String>,
+}
+impl Registry {
+    pub fn emit_all(&self) -> Vec<String> {
+        self.members.values().cloned().collect()
+    }
+    pub fn drop_even(&mut self) {
+        self.members.retain(|k, _| k % 2 == 1);
+    }
+}
+pub fn union(a: &HashSet<u64>) -> u64 {
+    let mut total = 0;
+    for x in a {
+        total += x;
+    }
+    let r = Registry { members: HashMap::new(), ordered: BTreeMap::new() };
+    for (_, v) in r.ordered.iter() {
+        let _ = v;
+    }
+    total + r.members.get(&1).map_or(0, |_| 1)
+}

@@ -1,0 +1,5 @@
+// Fixture: net rule must fire on line 2.
+use std::net::UdpSocket;
+pub fn bind() -> std::io::Result<UdpSocket> {
+    UdpSocket::bind("127.0.0.1:0")
+}

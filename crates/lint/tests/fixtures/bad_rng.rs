@@ -1,0 +1,7 @@
+// Fixture: ambient-rng rule must fire on lines 3 and 4.
+pub fn roll() -> u64 {
+    let mut rng = thread_rng();
+    let alt = SmallRng::from_entropy();
+    let _ = alt;
+    rng.gen()
+}

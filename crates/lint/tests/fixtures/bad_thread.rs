@@ -1,0 +1,4 @@
+// Fixture: thread rule must fire on line 3.
+pub fn spawn_worker() {
+    std::thread::spawn(|| {});
+}

@@ -1,0 +1,7 @@
+// Fixture: wall-clock rule must fire on line 4 and nowhere else.
+pub fn elapsed_ms() -> u128 {
+    let d = std::time::Duration::from_millis(5); // Duration alone is fine
+    let t0 = std::time::Instant::now();
+    let _ = d;
+    t0.elapsed().as_millis()
+}

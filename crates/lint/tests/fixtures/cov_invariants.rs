@@ -1,0 +1,7 @@
+// Fixture catalog: one more invariant plus the registry slice.
+pub const NO_LOST: &str = "no-lost-procedure";
+pub const ALL_INVARIANTS: &[&str] = &[fixture::oracle::CONSISTENCY, NO_LOST];
+pub struct NoLost;
+impl Invariant for NoLost {
+    fn name(&self) -> &'static str { NO_LOST }
+}

@@ -1,0 +1,7 @@
+// Fixture oracle: one invariant implementation.
+pub const CONSISTENCY: &str = "consistency";
+pub trait Invariant { fn name(&self) -> &'static str; }
+pub struct ConsistencyInvariant;
+impl Invariant for ConsistencyInvariant {
+    fn name(&self) -> &'static str { CONSISTENCY }
+}

@@ -1,0 +1,1 @@
+const NEUTRINO_INVARIANTS: &[&str] = &["consistency", "no-lost-procedure"];

@@ -1,0 +1,5 @@
+// Fixture: stale-allow must fire on line 3 (nothing to suppress).
+pub fn clean() -> u64 {
+    // lint-allow(wall-clock): nothing here reads a clock
+    42
+}

@@ -1,0 +1,18 @@
+// Fixture framing: total, injective, gap-free — must pass.
+const TAG_ALPHA: u8 = 1;
+const TAG_BETA: u8 = 2;
+const TAG_GAMMA: u8 = 3;
+pub fn encode_sysmsg(m: &SysMsg, buf: &mut Vec<u8>) {
+    match m {
+        SysMsg::Alpha(v) => { buf.put_u8(TAG_ALPHA); buf.put_u8(*v); }
+        SysMsg::Beta { x } => { buf.put_u8(TAG_BETA); buf.put_u64(*x); }
+        SysMsg::Gamma => { buf.put_u8(TAG_GAMMA); }
+    }
+}
+pub fn decode_sysmsg(frame: &[u8]) -> Result<SysMsg> {
+    Ok(match frame[0] {
+        TAG_ALPHA => SysMsg::Alpha(frame[1]),
+        TAG_BETA => { let x = 0u64; SysMsg::Beta { x } }
+        other => return Err(other),
+    })
+}

@@ -1,0 +1,6 @@
+// Fixture enum for the wire-contract rule.
+pub enum SysMsg {
+    Alpha(u8),
+    Beta { x: u64 },
+    Gamma,
+}

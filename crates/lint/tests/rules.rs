@@ -1,0 +1,184 @@
+//! Fixture tests: each rule fires exactly where expected, suppressions
+//! suppress, stale suppressions are themselves findings — checked both
+//! through the library API (exact file:line assertions) and through the
+//! built binary (exit codes, the acceptance-criteria surface).
+
+use neutrino_lint::findings::Finding;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn fixture(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures").join(name)
+}
+
+fn lint_fixture(name: &str) -> Vec<Finding> {
+    let path = fixture(name);
+    let src = std::fs::read_to_string(&path).unwrap();
+    neutrino_lint::lint_source(name, &src)
+}
+
+/// (rule, line) pairs of the findings, sorted.
+fn fired(findings: &[Finding]) -> Vec<(String, u32)> {
+    let mut v: Vec<(String, u32)> =
+        findings.iter().map(|f| (f.rule.clone(), f.line)).collect();
+    v.sort();
+    v
+}
+
+#[test]
+fn wall_clock_fires_exactly_once() {
+    let f = lint_fixture("bad_wall_clock.rs");
+    assert_eq!(fired(&f), [("wall-clock".to_string(), 4)], "{f:?}");
+}
+
+#[test]
+fn thread_net_env_rng_fire_at_expected_lines() {
+    assert_eq!(fired(&lint_fixture("bad_thread.rs")), [("thread".to_string(), 3)]);
+    assert_eq!(fired(&lint_fixture("bad_net.rs")), [("net".to_string(), 2)]);
+    assert_eq!(fired(&lint_fixture("bad_env.rs")), [("env".to_string(), 3)]);
+    assert_eq!(
+        fired(&lint_fixture("bad_rng.rs")),
+        [("ambient-rng".to_string(), 3), ("ambient-rng".to_string(), 4)]
+    );
+}
+
+#[test]
+fn hash_iter_fires_on_hash_not_btree() {
+    let f = lint_fixture("bad_hash_iter.rs");
+    assert_eq!(
+        fired(&f),
+        [
+            ("hash-iter".to_string(), 10),
+            ("hash-iter".to_string(), 13),
+            ("hash-iter".to_string(), 18),
+        ],
+        "{f:?}"
+    );
+}
+
+#[test]
+fn inline_allows_suppress_and_stale_allows_fire() {
+    let f = lint_fixture("allowed_ok.rs");
+    assert!(f.is_empty(), "justified allows must fully suppress: {f:?}");
+    let f = lint_fixture("stale_allow.rs");
+    assert_eq!(fired(&f), [("stale-allow".to_string(), 3)], "{f:?}");
+}
+
+#[test]
+fn wire_fixtures() {
+    let read = |n: &str| std::fs::read_to_string(fixture(n)).unwrap();
+    let sysmsg = read("wire_sysmsg.rs");
+
+    let good = neutrino_lint::wire::check("s.rs", &sysmsg, "f.rs", &read("wire_framing_good.rs"));
+    assert!(good.is_empty(), "{good:?}");
+
+    let missing =
+        neutrino_lint::wire::check("s.rs", &sysmsg, "f.rs", &read("wire_framing_missing_decode.rs"));
+    assert!(missing.iter().any(|f| f.message.contains("no arm in decode_sysmsg")), "{missing:?}");
+
+    let gap = neutrino_lint::wire::check("s.rs", &sysmsg, "f.rs", &read("wire_framing_gap.rs"));
+    assert!(gap.iter().any(|f| f.message.contains("gap")), "{gap:?}");
+
+    let dup = neutrino_lint::wire::check("s.rs", &sysmsg, "f.rs", &read("wire_framing_dup_tag.rs"));
+    assert!(dup.iter().any(|f| f.message.contains("assigned to both")), "{dup:?}");
+}
+
+#[test]
+fn coverage_fixtures() {
+    let read = |n: &str| std::fs::read_to_string(fixture(n)).unwrap();
+    let oracle = read("cov_oracle.rs");
+    let invs = read("cov_invariants.rs");
+
+    let good = neutrino_lint::coverage::check(
+        ("o.rs", &oracle),
+        ("i.rs", &invs),
+        ("s.rs", &read("cov_scenario_good.rs")),
+        ("t.md", &read("cov_testing_good.md")),
+    );
+    assert!(good.is_empty(), "{good:?}");
+
+    let unregistered = neutrino_lint::coverage::check(
+        ("o.rs", &oracle),
+        ("i.rs", &invs),
+        ("s.rs", &read("cov_scenario_missing.rs")),
+        ("t.md", &read("cov_testing_good.md")),
+    );
+    assert!(
+        unregistered.iter().any(|f| f.message.contains("not registered in any scenario")),
+        "{unregistered:?}"
+    );
+
+    let undocumented = neutrino_lint::coverage::check(
+        ("o.rs", &oracle),
+        ("i.rs", &invs),
+        ("s.rs", &read("cov_scenario_good.rs")),
+        ("t.md", &read("cov_testing_missing.md")),
+    );
+    assert!(
+        undocumented.iter().any(|f| f.message.contains("not documented")),
+        "{undocumented:?}"
+    );
+}
+
+// --- binary exit codes (the `cargo run -p neutrino-lint` surface) ---------
+
+fn run_bin(args: &[&str]) -> std::process::ExitStatus {
+    Command::new(env!("CARGO_BIN_EXE_neutrino-lint"))
+        .args(args)
+        .output()
+        .expect("spawn neutrino-lint")
+        .status
+}
+
+#[test]
+fn binary_exits_nonzero_on_each_bad_fixture() {
+    for bad in [
+        "bad_wall_clock.rs",
+        "bad_thread.rs",
+        "bad_net.rs",
+        "bad_env.rs",
+        "bad_rng.rs",
+        "bad_hash_iter.rs",
+        "stale_allow.rs",
+    ] {
+        let status = run_bin(&["--check-file", fixture(bad).to_str().unwrap()]);
+        assert_eq!(status.code(), Some(1), "{bad} must exit 1");
+    }
+    let status = run_bin(&["--check-file", fixture("allowed_ok.rs").to_str().unwrap()]);
+    assert_eq!(status.code(), Some(0), "allowed_ok.rs must exit 0");
+}
+
+#[test]
+fn binary_exits_nonzero_on_wire_and_coverage_fixtures() {
+    let fx = |n: &str| fixture(n).to_str().unwrap().to_owned();
+    for framing in ["wire_framing_missing_decode.rs", "wire_framing_gap.rs", "wire_framing_dup_tag.rs"]
+    {
+        let status = run_bin(&["--wire", &fx("wire_sysmsg.rs"), &fx(framing)]);
+        assert_eq!(status.code(), Some(1), "{framing} must exit 1");
+    }
+    let status = run_bin(&["--wire", &fx("wire_sysmsg.rs"), &fx("wire_framing_good.rs")]);
+    assert_eq!(status.code(), Some(0));
+
+    let status = run_bin(&[
+        "--coverage",
+        &fx("cov_oracle.rs"),
+        &fx("cov_invariants.rs"),
+        &fx("cov_scenario_missing.rs"),
+        &fx("cov_testing_good.md"),
+    ]);
+    assert_eq!(status.code(), Some(1), "missing scenario registration must exit 1");
+    let status = run_bin(&[
+        "--coverage",
+        &fx("cov_oracle.rs"),
+        &fx("cov_invariants.rs"),
+        &fx("cov_scenario_good.rs"),
+        &fx("cov_testing_good.md"),
+    ]);
+    assert_eq!(status.code(), Some(0));
+}
+
+#[test]
+fn binary_is_clean_on_the_real_workspace() {
+    let status = run_bin(&[]);
+    assert_eq!(status.code(), Some(0), "the tree must lint clean");
+}

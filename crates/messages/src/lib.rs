@@ -20,6 +20,7 @@
 //! handover, re-attach, detach).
 
 #![forbid(unsafe_code)]
+#![deny(unreachable_pub)]
 #![warn(missing_docs)]
 
 pub mod control;

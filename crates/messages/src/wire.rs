@@ -136,7 +136,7 @@ pub(crate) mod testutil {
 
     /// Round-trips `msg` through every codec that supports its schema and
     /// asserts losslessness.
-    pub fn round_trip_all_codecs<M: Wire + PartialEq + std::fmt::Debug>(msg: &M) {
+    pub(crate) fn round_trip_all_codecs<M: Wire + PartialEq + std::fmt::Debug>(msg: &M) {
         let schema = M::schema();
         schema.validate(&msg.to_value()).expect("sample validates");
         for kind in CodecKind::ALL {

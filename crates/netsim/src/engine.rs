@@ -506,6 +506,7 @@ impl<M: Clone + 'static> Sim<M> {
     /// Runs until the event queue drains or `deadline` passes. Returns the
     /// time of the last processed event.
     pub fn run_until(&mut self, deadline: Instant) -> Instant {
+        // lint-allow(wall-clock): observability-only events/sec wall timer; never feeds simulated state
         let wall_start = std::time::Instant::now();
         while let Some(ev) = self.queue.peek() {
             if ev.at > deadline {

@@ -24,6 +24,7 @@
 //! machines run under the real-time driver in `neutrino-net`.
 
 #![forbid(unsafe_code)]
+#![deny(unreachable_pub)]
 #![warn(missing_docs)]
 
 pub mod engine;

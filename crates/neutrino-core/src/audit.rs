@@ -233,8 +233,8 @@ pub fn audit_cluster(cluster: &mut Cluster) -> AuditReport {
         );
     }
 
-    // HashMap iteration produced these in arbitrary order; the report must
-    // be byte-stable across runs and `--jobs N`.
+    // Divergences accumulate from several per-node scans; impose one
+    // global order so the report is byte-stable across runs and `--jobs N`.
     divergences.sort_by_key(Divergence::sort_key);
     report.divergences = divergences;
     report

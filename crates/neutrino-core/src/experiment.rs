@@ -13,7 +13,7 @@ use neutrino_geo::RegionLayout;
 use neutrino_messages::procedures::ProcedureKind;
 use neutrino_netsim::{SimConfig, SimStats};
 use std::cell::RefCell;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// A CPF failure injection.
 #[derive(Debug, Clone, Copy)]
@@ -88,7 +88,7 @@ pub fn drain_run_perf() -> Vec<RunPerf> {
 #[derive(Debug)]
 pub struct RunResults {
     /// PCT distributions (milliseconds) per executed procedure kind.
-    pub pct: HashMap<ProcedureKind, Percentiles>,
+    pub pct: BTreeMap<ProcedureKind, Percentiles>,
     /// Probe-UE interruption windows.
     pub windows: Vec<ProcedureWindow>,
     /// Procedures started / completed.

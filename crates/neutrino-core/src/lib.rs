@@ -25,6 +25,7 @@
 //!   trait for in-run checking (the `neutrino-check` harness's hook).
 
 #![forbid(unsafe_code)]
+#![deny(unreachable_pub)]
 #![warn(missing_docs)]
 
 pub mod audit;

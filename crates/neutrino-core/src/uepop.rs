@@ -19,7 +19,7 @@ use neutrino_messages::procedures::ProcedureKind;
 use neutrino_messages::{Direction, Envelope, SysMsg};
 use neutrino_netsim::{Node, NodeEvent, Outbox};
 use std::any::Any;
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// One scheduled procedure start.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -87,7 +87,7 @@ pub struct UePopConfig {
     pub pct_sample_every: u64,
     /// UEs whose data-access interruption windows are recorded (the app
     /// experiments' probe UEs).
-    pub record_windows_for: HashSet<UeId>,
+    pub record_windows_for: BTreeSet<UeId>,
     /// Generator cores (never the bottleneck).
     pub cores: usize,
 }
@@ -103,7 +103,7 @@ impl Default for UePopConfig {
             retry_timeout: Duration::from_secs(1),
             max_retries: 2,
             pct_sample_every: 1,
-            record_windows_for: HashSet::new(),
+            record_windows_for: BTreeSet::new(),
             cores: 64,
         }
     }
@@ -128,7 +128,7 @@ pub struct ProcedureWindow {
 #[derive(Debug, Default)]
 pub struct UePopResults {
     /// PCT distributions per procedure kind (milliseconds).
-    pub pct: HashMap<ProcedureKind, Percentiles>,
+    pub pct: BTreeMap<ProcedureKind, Percentiles>,
     /// Interruption windows of probe UEs.
     pub windows: Vec<ProcedureWindow>,
     /// Procedures started.
@@ -169,16 +169,16 @@ pub struct UePopulation {
     config: UePopConfig,
     workload: Workload,
     pending_arrival: Option<Arrival>,
-    active: HashMap<UeId, Active>,
-    proc_seq: HashMap<UeId, u64>,
+    active: BTreeMap<UeId, Active>,
+    proc_seq: BTreeMap<UeId, u64>,
     /// Which entry of `routes` each UE currently camps on. Everyone starts
     /// on route 0; a UE that exhausts its retries *twice in a row* (its CTA
     /// looks dead, not merely overloaded) advances to the next route —
     /// §4.2.5 scenario 4: "the UE executes the Re-Attach procedure through
     /// a new CTA".
-    route_override: HashMap<UeId, usize>,
+    route_override: BTreeMap<UeId, usize>,
     /// Consecutive give-ups per UE (reset by any completed procedure).
-    give_ups: HashMap<UeId, u32>,
+    give_ups: BTreeMap<UeId, u32>,
     results: UePopResults,
     costs: &'static CostTable,
 }
@@ -190,10 +190,10 @@ impl UePopulation {
             config,
             workload,
             pending_arrival: None,
-            active: HashMap::new(),
-            proc_seq: HashMap::new(),
-            route_override: HashMap::new(),
-            give_ups: HashMap::new(),
+            active: BTreeMap::new(),
+            proc_seq: BTreeMap::new(),
+            route_override: BTreeMap::new(),
+            give_ups: BTreeMap::new(),
             results: UePopResults::default(),
             costs: CostTable::baked(),
         }

@@ -16,6 +16,7 @@
 //!   [`framing`]; demonstrates the cores over a real network stack.
 
 #![forbid(unsafe_code)]
+#![deny(unreachable_pub)]
 #![warn(missing_docs)]
 
 pub mod framing;

@@ -17,6 +17,7 @@
 //!   apart, 60 mph) emitting handover arrivals for probe UEs.
 
 #![forbid(unsafe_code)]
+#![deny(unreachable_pub)]
 #![warn(missing_docs)]
 
 pub mod mobility;

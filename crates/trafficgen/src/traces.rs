@@ -108,8 +108,8 @@ impl Trace {
     /// Mean service-request inter-arrival per device, in seconds (for
     /// validating against the published 106.9 s statistic).
     pub fn mean_sr_interarrival_secs(&self) -> f64 {
-        use std::collections::HashMap;
-        let mut per_ue: HashMap<u64, Vec<u64>> = HashMap::new();
+        use std::collections::BTreeMap;
+        let mut per_ue: BTreeMap<u64, Vec<u64>> = BTreeMap::new();
         for r in &self.records {
             if r.procedure == TraceProcedure::ServiceRequest {
                 per_ue.entry(r.ue).or_default().push(r.at_us);

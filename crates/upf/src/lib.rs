@@ -8,6 +8,7 @@
 //! which is exactly what makes control-plane delays visible to applications.
 
 #![forbid(unsafe_code)]
+#![deny(unreachable_pub)]
 #![warn(missing_docs)]
 
 pub mod dataplane;

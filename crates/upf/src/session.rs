@@ -2,7 +2,7 @@
 
 use neutrino_common::{CpfId, CtaId, SessionId, UeId, UpfId};
 use neutrino_messages::sysmsg::{S11Request, S11Response, SessionOp, SysMsg};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Lifecycle of one UE's session on the UPF.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -28,7 +28,7 @@ pub struct Session {
 /// UE → session map.
 #[derive(Debug, Default)]
 pub struct SessionTable {
-    sessions: HashMap<UeId, Session>,
+    sessions: BTreeMap<UeId, Session>,
 }
 
 impl SessionTable {
