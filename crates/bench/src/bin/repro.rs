@@ -20,7 +20,7 @@
 //! the reproduction target is each figure's *shape*.
 
 use neutrino_bench::figures::{
-    ablation, appsfig, burst, failure, handover, logsize, pct, serialization,
+    ablation, appsfig, burst, failure, handover, logsize, overload, pct, serialization,
 };
 use neutrino_bench::figures::{PctPoint, Profile};
 use neutrino_bench::{render, sweep};
@@ -78,13 +78,13 @@ fn main() {
     let profile = if quick { Profile::Quick } else { Profile::Full };
     let mut figs: Vec<String> = args
         .iter()
-        .filter(|a| a.starts_with("fig") || a.as_str() == "ablation")
+        .filter(|a| a.starts_with("fig") || a.as_str() == "ablation" || a.as_str() == "overload")
         .cloned()
         .collect();
     if figs.is_empty() || args.iter().any(|a| a == "all") {
         figs = vec![
             "fig3", "fig7", "fig8", "fig9", "fig10", "fig11", "fig13", "fig14", "fig15", "fig16",
-            "fig17", "fig18", "fig19", "fig20", "ablation",
+            "fig17", "fig18", "fig19", "fig20", "ablation", "overload",
         ]
         .into_iter()
         .map(String::from)
@@ -158,6 +158,7 @@ fn main() {
             "fig18" => run_fig18(quick, &mut json),
             "fig19" | "fig20" => run_fig19_20(fig, &mut json),
             "ablation" => run_ablation(&mut json),
+            "overload" => run_overload(profile, &mut json),
             other => eprintln!("unknown figure: {other}"),
         }
         let wall = started.elapsed();
@@ -202,7 +203,7 @@ fn main() {
         eprintln!("wrote {path}");
     }
     if let Some(path) = bench_path {
-        write_bench(&path, &bench, run_started.elapsed(), quick);
+        write_bench(&path, &bench, json.get("overload"), run_started.elapsed(), quick);
     }
 }
 
@@ -210,6 +211,7 @@ fn main() {
 fn write_bench(
     path: &str,
     bench: &BTreeMap<String, FigBench>,
+    overload: Option<&serde_json::Value>,
     total_wall: std::time::Duration,
     quick: bool,
 ) {
@@ -232,7 +234,7 @@ fn write_bench(
             0.0
         },
     };
-    let report = serde_json::Value::Map(vec![
+    let mut report = vec![
         (
             "profile".to_string(),
             serde_json::to_value(&if quick { "quick" } else { "full" }).expect("ser"),
@@ -249,7 +251,13 @@ fn write_bench(
         ),
         ("totals".to_string(), serde_json::to_value(&totals).expect("ser")),
         ("figures".to_string(), serde_json::to_value(bench).expect("ser")),
-    ]);
+    ];
+    // Overload throughput/latency percentiles (admitted vs offered, p50/p99
+    // by class) ride along whenever the `overload` figure ran.
+    if let Some(points) = overload {
+        report.push(("overload".to_string(), points.clone()));
+    }
+    let report = serde_json::Value::Map(report);
     let body = serde_json::to_string_pretty(&report).expect("serializable");
     std::fs::write(path, body).expect("write bench json");
     eprintln!("wrote {path}");
@@ -284,6 +292,37 @@ fn run_ablation(json: &mut BTreeMap<String, serde_json::Value>) {
         "ablation_latency".into(),
         serde_json::to_value(&lats).expect("ser"),
     );
+}
+
+/// Overload figure: admitted-vs-offered throughput and per-class PCT
+/// percentiles under a flash-crowd storm, admission gated vs ungated.
+fn run_overload(profile: Profile, json: &mut BTreeMap<String, serde_json::Value>) {
+    render::header("Overload: flash-crowd re-attach, admission gated vs ungated");
+    let points = overload::overload(profile);
+    for p in &points {
+        println!(
+            "{:>10}  {:<20} offered={:>7} admitted={:>7} shed={:>7} rejected={:>7}  depth={:>5} (cap {})",
+            format_x(p.x),
+            p.system,
+            p.offered,
+            p.admitted.iter().sum::<u64>(),
+            p.shed.iter().sum::<u64>(),
+            p.rejected,
+            p.max_queue_depth,
+            p.queue_cap,
+        );
+        println!(
+            "            attach p50={:.2}ms p99={:.2}ms  service-request p50={:.2}ms p99={:.2}ms  exhausted={} failed={} audit_div={}",
+            p.attach.p50,
+            p.attach.p99,
+            p.service_request.p50,
+            p.service_request.p99,
+            p.retries_exhausted,
+            p.failed_procedures,
+            p.audit_divergences,
+        );
+    }
+    json.insert("overload".into(), serde_json::to_value(&points).expect("ser"));
 }
 
 fn run_pct_fig(

@@ -6,6 +6,7 @@ pub mod burst;
 pub mod failure;
 pub mod handover;
 pub mod logsize;
+pub mod overload;
 pub mod pct;
 pub mod serialization;
 

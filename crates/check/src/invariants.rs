@@ -6,17 +6,22 @@
 //! liveness- and resource-style properties that hold for *every* system,
 //! not just Neutrino:
 //!
-//! | name                  | property                                              |
-//! |-----------------------|-------------------------------------------------------|
-//! | `consistency`         | CTA log / CPF stores / UPF sessions agree (audit)     |
-//! | `no-lost-procedure`   | end of run: nothing in flight, nothing pruned         |
-//! | `bounded-stall`       | no in-flight procedure sits beyond the retry budget   |
-//! | `session-ownership`   | every UPF session belongs to a UE some live CTA knows |
-//! | `bounded-retry`       | retransmissions stay proportional to observed drops   |
-//! | `monotonic-checkpoint`| per-UE completed-procedure watermarks never regress   |
+//! | name                     | property                                              |
+//! |--------------------------|-------------------------------------------------------|
+//! | `consistency`            | CTA log / CPF stores / UPF sessions agree (audit)     |
+//! | `no-lost-procedure`      | end of run: nothing in flight, nothing pruned         |
+//! | `bounded-stall`          | no in-flight procedure sits beyond the retry budget   |
+//! | `session-ownership`      | every UPF session belongs to a UE some live CTA knows |
+//! | `bounded-retry`          | retransmissions stay proportional to observed drops   |
+//! | `monotonic-checkpoint`   | per-UE completed-procedure watermarks never regress   |
+//! | `bounded-queue`          | control-plane engine queues stay under the plan's cap |
+//! | `shed-priority-order`    | admission never sheds a class while serving a lower one |
+//! | `no-retry-amplification` | at most one client re-offer per reject, drop-bounded retries |
 
+use crate::scenario::CasePlan;
 use neutrino_core::simnode::{cta_node, upf_node, CtaNode, UpfNode};
 use neutrino_core::{ConsistencyInvariant, Invariant, OracleCtx, Violation};
+use neutrino_cta::admission::priority_order_violation;
 use std::collections::{BTreeMap, HashSet};
 
 /// Catalog name of [`NoLostProcedure`].
@@ -29,6 +34,12 @@ pub const SESSION_OWNERSHIP: &str = "session-ownership";
 pub const BOUNDED_RETRY: &str = "bounded-retry";
 /// Catalog name of [`MonotonicCheckpoint`].
 pub const MONOTONIC_CHECKPOINT: &str = "monotonic-checkpoint";
+/// Catalog name of [`BoundedQueue`].
+pub const BOUNDED_QUEUE: &str = "bounded-queue";
+/// Catalog name of [`ShedPriorityOrder`].
+pub const SHED_PRIORITY_ORDER: &str = "shed-priority-order";
+/// Catalog name of [`NoRetryAmplification`].
+pub const NO_RETRY_AMPLIFICATION: &str = "no-retry-amplification";
 
 /// Every catalog name, including the core crate's `consistency`.
 pub const ALL_INVARIANTS: &[&str] = &[
@@ -38,6 +49,9 @@ pub const ALL_INVARIANTS: &[&str] = &[
     SESSION_OWNERSHIP,
     BOUNDED_RETRY,
     MONOTONIC_CHECKPOINT,
+    BOUNDED_QUEUE,
+    SHED_PRIORITY_ORDER,
+    NO_RETRY_AMPLIFICATION,
 ];
 
 /// Instantiates a fresh invariant by catalog name.
@@ -49,8 +63,23 @@ pub fn invariant_by_name(name: &str) -> Option<Box<dyn Invariant>> {
         SESSION_OWNERSHIP => Some(Box::<SessionOwnership>::default()),
         BOUNDED_RETRY => Some(Box::<BoundedRetry>::default()),
         MONOTONIC_CHECKPOINT => Some(Box::<MonotonicCheckpoint>::default()),
+        BOUNDED_QUEUE => Some(Box::<BoundedQueue>::default()),
+        SHED_PRIORITY_ORDER => Some(Box::<ShedPriorityOrder>::default()),
+        NO_RETRY_AMPLIFICATION => Some(Box::<NoRetryAmplification>::default()),
         _ => None,
     }
+}
+
+/// Instantiates an invariant configured for a specific plan: the
+/// `bounded-queue` cap comes from the plan's storm block when present.
+/// Falls back to [`invariant_by_name`] defaults otherwise.
+pub fn invariant_for_case(name: &str, plan: &CasePlan) -> Option<Box<dyn Invariant>> {
+    if name == BOUNDED_QUEUE {
+        if let Some(storm) = &plan.storm {
+            return Some(Box::new(BoundedQueue::with_cap(storm.queue_cap)));
+        }
+    }
+    invariant_by_name(name)
 }
 
 /// End-of-run liveness: after the drain margin, no procedure may still be
@@ -290,6 +319,137 @@ impl Invariant for MonotonicCheckpoint {
             }
         }
         out
+    }
+}
+
+/// Overload containment: the largest engine queue depth across
+/// control-plane nodes (CTAs, CPFs, UPFs — the UE population's own queue
+/// is its business) must stay under the cap the admission gate is sized
+/// for. Reports the first breach only — the depth is a running maximum,
+/// so every later pass would re-report the same event.
+#[derive(Debug)]
+pub struct BoundedQueue {
+    cap: u64,
+    tripped: bool,
+}
+
+/// Fallback queue cap when the plan declares none: generous enough that
+/// only a genuine overload collapse (not a burst) can reach it.
+const DEFAULT_QUEUE_CAP: u64 = 4_096;
+
+impl Default for BoundedQueue {
+    fn default() -> Self {
+        BoundedQueue { cap: DEFAULT_QUEUE_CAP, tripped: false }
+    }
+}
+
+impl BoundedQueue {
+    /// A checker with an explicit depth cap (the plan's `storm.queue_cap`).
+    pub fn with_cap(cap: u64) -> Self {
+        BoundedQueue { cap: cap.max(1), tripped: false }
+    }
+}
+
+impl Invariant for BoundedQueue {
+    fn name(&self) -> &'static str {
+        BOUNDED_QUEUE
+    }
+
+    fn check(&mut self, ctx: &mut OracleCtx<'_>) -> Vec<Violation> {
+        if self.tripped {
+            return Vec::new();
+        }
+        let depth = ctx.cluster.max_control_queue_depth() as u64;
+        if depth <= self.cap {
+            return Vec::new();
+        }
+        self.tripped = true;
+        vec![Violation {
+            invariant: BOUNDED_QUEUE,
+            at: ctx.now,
+            ue: None,
+            detail: format!(
+                "control-plane queue depth reached {depth}, cap {} — \
+                 admission is not containing the storm",
+                self.cap
+            ),
+        }]
+    }
+}
+
+/// Graceful-degradation ordering: the admission gate must shut classes
+/// off lowest-priority-first. The gate records, per class, the lowest
+/// token level it admitted at and the highest level it shed at; a
+/// higher-priority class shed at or above a level where a lower-priority
+/// class was admitted means the priority ladder inverted. Final pass
+/// only — the evidence is cumulative over the whole run.
+#[derive(Debug, Default)]
+pub struct ShedPriorityOrder;
+
+impl Invariant for ShedPriorityOrder {
+    fn name(&self) -> &'static str {
+        SHED_PRIORITY_ORDER
+    }
+
+    fn check(&mut self, ctx: &mut OracleCtx<'_>) -> Vec<Violation> {
+        if !ctx.final_pass {
+            return Vec::new();
+        }
+        let Some((min_admit, max_shed)) = ctx.cluster.admission_evidence() else {
+            return Vec::new();
+        };
+        priority_order_violation(&min_admit, &max_shed)
+            .map(|(hi, lo)| Violation {
+                invariant: SHED_PRIORITY_ORDER,
+                at: ctx.now,
+                ue: None,
+                detail: format!(
+                    "higher-priority class `{}` was shed at a bucket level where \
+                     lower-priority class `{}` was still admitted",
+                    hi.label(),
+                    lo.label()
+                ),
+            })
+            .into_iter()
+            .collect()
+    }
+}
+
+/// Overload must not feed on itself: every UE retransmission is accounted
+/// for by either an observed delivery drop (loss, partition, down node —
+/// the [`BoundedRetry`] argument) or an explicit admission `Reject`, which
+/// licenses *exactly one* deferred re-offer. Retransmissions beyond
+/// `base + per_drop·drops + rejects` mean the client retry machinery is
+/// amplifying the storm instead of pacing it.
+#[derive(Debug, Default)]
+pub struct NoRetryAmplification;
+
+impl Invariant for NoRetryAmplification {
+    fn name(&self) -> &'static str {
+        NO_RETRY_AMPLIFICATION
+    }
+
+    fn check(&mut self, ctx: &mut OracleCtx<'_>) -> Vec<Violation> {
+        if !ctx.final_pass {
+            return Vec::new();
+        }
+        let sim = ctx.cluster.sim.sim_stats();
+        let drops = sim.dropped_loss + sim.dropped_partition + ctx.cluster.total_node_drops();
+        let results = ctx.cluster.population().results();
+        let (retx, rejected) = (results.retransmissions, results.rejected);
+        let budget = RETRY_BUDGET_BASE + RETRY_BUDGET_PER_DROP * drops + rejected;
+        if retx <= budget {
+            return Vec::new();
+        }
+        vec![Violation {
+            invariant: NO_RETRY_AMPLIFICATION,
+            at: ctx.now,
+            ue: None,
+            detail: format!(
+                "{retx} retransmissions exceed the amplification budget {budget} \
+                 ({drops} drops, {rejected} rejects — more than one re-offer per reject)"
+            ),
+        }]
     }
 }
 

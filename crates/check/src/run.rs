@@ -9,17 +9,21 @@
 //! points where nothing happened — a 10 s drain tail costs a handful of
 //! passes, not hundreds.
 
-use crate::invariants::invariant_by_name;
+use crate::invariants::invariant_for_case;
 use crate::scenario::{CasePlan, EndpointPlan};
 use neutrino_core::experiment::adapt_workload;
 use neutrino_core::oracle::{Invariant, OracleCtx, Violation};
 use neutrino_core::simnode::{cpf_node, cta_node};
-use neutrino_core::{Cluster, LinkProfile, SystemConfig, UePopConfig};
+use neutrino_core::{Cluster, LinkProfile, SystemConfig, UePopConfig, Workload};
 use neutrino_common::time::{Duration, Instant};
+use neutrino_cta::AdmissionParams;
 use neutrino_geo::RegionLayout;
 use neutrino_messages::procedures::ProcedureKind;
 use neutrino_netsim::{FaultSpec, SimConfig};
-use neutrino_trafficgen::patterns::{uniform_with_pool, UniformParams};
+use neutrino_trafficgen::patterns::{
+    flash_crowd_reattach, iot_burst_storm, uniform_with_pool, FlashCrowdParams, IotStormParams,
+    UniformParams,
+};
 use serde::{Deserialize, Serialize};
 
 /// Attach-phase rate used for every checked run (fast enough that the
@@ -78,6 +82,23 @@ pub struct Fingerprint {
     pub reordered: u64,
     /// Procedures the CTA's ACK-timeout scan pruned.
     pub timeout_pruned: u64,
+    /// Procedures the CTA admission gate admitted, by class (priority
+    /// order: handover, service-request, attach, detach). All zero when the
+    /// gate is off.
+    #[serde(default)]
+    pub admitted: Vec<u64>,
+    /// Procedures the gate shed, by class (same order).
+    #[serde(default)]
+    pub shed: Vec<u64>,
+    /// `Reject` frames the UE population received.
+    #[serde(default)]
+    pub rejected: u64,
+    /// Procedures UEs abandoned after exhausting the retry budget.
+    #[serde(default)]
+    pub retries_exhausted: u64,
+    /// Largest engine queue depth across control-plane nodes.
+    #[serde(default)]
+    pub max_queue_depth: u64,
     /// Total invariant violations (including ones beyond the record cap).
     pub violations: u64,
 }
@@ -135,24 +156,73 @@ pub fn kind_by_name(name: &str) -> Option<ProcedureKind> {
 /// (crate::scenario::Scenario::plan) or a pinned corpus file, and a typo
 /// there should fail loudly, not skip silently.
 pub fn run_case(plan: &CasePlan) -> CheckReport {
-    let config = config_by_name(&plan.system)
+    let mut config = config_by_name(&plan.system)
         .unwrap_or_else(|| panic!("unknown system `{}`", plan.system));
     let kind =
         kind_by_name(&plan.kind).unwrap_or_else(|| panic!("unknown procedure `{}`", plan.kind));
-    let (workload, measured_start) = uniform_with_pool(
-        UniformParams {
-            rate_pps: plan.rate_pps,
-            duration: Duration::from_millis(plan.duration_ms),
-            kind,
-            ues: plan.ues,
-            first_ue: 0,
-            start: Instant::ZERO,
-        },
-        ATTACH_RATE_PPS,
-    );
+    if let Some(storm) = &plan.storm {
+        if storm.admission_rate_pps > 0 {
+            config = config.with_admission(AdmissionParams::for_rate(storm.admission_rate_pps));
+        }
+    }
+    // The workload: uniform-with-pool by default, or the plan's storm
+    // shape. `measured_start` anchors the chaos schedule (crash/partition
+    // times are relative to it) and `horizon` covers the traffic plus the
+    // drain margin.
+    let (workload, measured_start, horizon): (Workload, Instant, Duration) = match &plan.storm {
+        None => {
+            let (w, measured_start) = uniform_with_pool(
+                UniformParams {
+                    rate_pps: plan.rate_pps,
+                    duration: Duration::from_millis(plan.duration_ms),
+                    kind,
+                    ues: plan.ues,
+                    first_ue: 0,
+                    start: Instant::ZERO,
+                },
+                ATTACH_RATE_PPS,
+            );
+            let horizon = measured_start.saturating_since(Instant::ZERO)
+                + Duration::from_millis(plan.duration_ms + plan.drain_ms);
+            (w, measured_start, horizon)
+        }
+        Some(storm) if storm.shape == "flash-crowd" => {
+            let (w, sched) = flash_crowd_reattach(FlashCrowdParams {
+                ues: plan.ues,
+                first_ue: 0,
+                steady_pps: plan.rate_pps,
+                // Under the gate, pace the pool attach at half the
+                // admission rate so the pre-storm phase registers without
+                // tripping the gate itself.
+                attach_pps: storm.admission_rate_pps / 2,
+                steady: Duration::from_millis(storm.steady_ms),
+                surge_delay: Duration::from_millis(storm.surge_delay_ms),
+                surge_rate_pps: storm.surge_rate_pps,
+                tail: Duration::from_millis(storm.tail_ms),
+                start: Instant::ZERO,
+            });
+            let horizon = sched.end.saturating_since(Instant::ZERO)
+                + Duration::from_millis(plan.drain_ms);
+            (w, sched.steady_start, horizon)
+        }
+        Some(storm) if storm.shape == "iot-burst" => {
+            let w = iot_burst_storm(IotStormParams {
+                devices: plan.ues,
+                first_ue: 0,
+                pulses: storm.pulses,
+                period: Duration::from_millis(storm.period_ms),
+                window: Duration::from_millis(storm.window_ms),
+                kind,
+                start: Instant::ZERO,
+            });
+            let horizon = Duration::from_millis(
+                storm.pulses * storm.period_ms + storm.window_ms + plan.drain_ms,
+            );
+            (w, Instant::ZERO, horizon)
+        }
+        Some(storm) => panic!("unknown storm shape `{}`", storm.shape),
+    };
     let workload = adapt_workload(&config, workload);
-    let horizon = measured_start.saturating_since(Instant::ZERO)
-        + Duration::from_millis(plan.duration_ms + plan.drain_ms);
     let links = LinkProfile {
         jitter: Duration::from_micros(plan.jitter_us),
         faults: FaultSpec {
@@ -198,7 +268,7 @@ pub fn run_case(plan: &CasePlan) -> CheckReport {
     let mut invariants: Vec<Box<dyn Invariant>> = plan
         .invariants
         .iter()
-        .map(|n| invariant_by_name(n).unwrap_or_else(|| panic!("unknown invariant `{n}`")))
+        .map(|n| invariant_for_case(n, plan).unwrap_or_else(|| panic!("unknown invariant `{n}`")))
         .collect();
 
     // The oracle loop. Each pause lands on a multiple of the check
@@ -253,6 +323,7 @@ pub fn run_case(plan: &CasePlan) -> CheckReport {
 
     let sim = cluster.sim.sim_stats();
     let cta = cluster.cta_metrics();
+    let max_queue_depth = cluster.max_control_queue_depth() as u64;
     let results = cluster.take_results();
     CheckReport {
         violations: recorded,
@@ -268,6 +339,11 @@ pub fn run_case(plan: &CasePlan) -> CheckReport {
             duplicated: sim.duplicated,
             reordered: sim.reordered,
             timeout_pruned: cta.timeout_pruned,
+            admitted: cta.admitted_by_class.to_vec(),
+            shed: cta.shed_by_class.to_vec(),
+            rejected: results.rejected,
+            retries_exhausted: results.retries_exhausted,
+            max_queue_depth,
             violations: total_violations,
         },
     }

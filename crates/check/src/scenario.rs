@@ -10,6 +10,7 @@
 //! to disk and replayed byte-identically with no reference back to the
 //! scenario that generated it.
 
+use neutrino_cta::AdmissionParams;
 use serde::{Deserialize, Serialize};
 
 /// One endpoint of a partition window, resolved against the deployment at
@@ -43,6 +44,37 @@ pub struct PartitionPlan {
     pub a: EndpointPlan,
     /// The other side.
     pub b: EndpointPlan,
+}
+
+/// Overload-storm extras of a plan: which storm generator shapes the
+/// workload, the CTA admission gate's sizing, and the queue-depth bound
+/// the `bounded-queue` invariant enforces. Fields that a shape does not
+/// use are zero.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StormPlan {
+    /// Storm generator: `"flash-crowd"` or `"iot-burst"`.
+    pub shape: String,
+    /// CTA admission-gate rate (procedures/second); `0` disables the gate
+    /// entirely — the configuration the storm is expected to break.
+    pub admission_rate_pps: u64,
+    /// Engine-queue depth cap the `bounded-queue` invariant checks against
+    /// (derived from the admission sizing, kept even when the gate is
+    /// disabled so the violation is observable).
+    pub queue_cap: u64,
+    /// Flash-crowd: steady-phase length before the blackout (ms).
+    pub steady_ms: u64,
+    /// Flash-crowd: outage-detection lag before the herd re-attaches (ms).
+    pub surge_delay_ms: u64,
+    /// Flash-crowd: the herd's aggregate re-attach rate (pps).
+    pub surge_rate_pps: u64,
+    /// Flash-crowd: steady traffic after the surge drains (ms).
+    pub tail_ms: u64,
+    /// IoT-burst: synchronized pulses after the attach pulse.
+    pub pulses: u64,
+    /// IoT-burst: pulse period (ms).
+    pub period_ms: u64,
+    /// IoT-burst: window each pulse packs the fleet into (ms).
+    pub window_ms: u64,
 }
 
 /// A fully concrete, self-contained chaos schedule: everything one checked
@@ -86,6 +118,10 @@ pub struct CasePlan {
     pub partitions: Vec<PartitionPlan>,
     /// Invariants to check, by catalog name (see `oracle::ALL_INVARIANTS`).
     pub invariants: Vec<String>,
+    /// Overload-storm extras; `None` (the default, so pinned pre-storm
+    /// corpus cases still parse) means the uniform workload.
+    #[serde(default)]
+    pub storm: Option<StormPlan>,
 }
 
 /// A stateless splitmix64 stream — the same generator family the link
@@ -159,6 +195,27 @@ pub struct Scenario {
     pub partitions: Span,
     /// Invariants checked (catalog names).
     pub invariants: &'static [&'static str],
+    /// Overload-storm dimensions (`None` for uniform-workload families).
+    pub storm: Option<StormSpec>,
+}
+
+/// Randomization ranges of a storm family's overload dimensions.
+#[derive(Debug, Clone, Copy)]
+pub struct StormSpec {
+    /// Storm generator: `"flash-crowd"` or `"iot-burst"`.
+    pub shape: &'static str,
+    /// CTA admission-gate rate range (pps). Always nonzero here — the
+    /// registered storm families must sweep clean; tests disable the gate
+    /// by zeroing the planned rate to demonstrate the violation.
+    pub admission_rate_pps: Span,
+    /// Flash-crowd: herd rate = steady `rate_pps` × this multiplier.
+    pub surge_mult: Span,
+    /// IoT-burst: pulse count range.
+    pub pulses: Span,
+    /// IoT-burst: pulse period range (ms).
+    pub period_ms: Span,
+    /// IoT-burst: pulse window range (ms).
+    pub window_ms: Span,
 }
 
 /// Invariant set for systems that guarantee continuous consistency.
@@ -181,6 +238,22 @@ const BASELINE_INVARIANTS: &[&str] = &[
     "monotonic-checkpoint",
 ];
 
+/// Invariant set for the overload-storm families. `bounded-retry` is
+/// replaced by `no-retry-amplification`: under admission control the UE
+/// population *deliberately* retransmits after every `Reject`, so the
+/// drop-proportional retry budget does not apply — the amplification bound
+/// (at most one re-offer per reject) does.
+const STORM_INVARIANTS: &[&str] = &[
+    "consistency",
+    "no-lost-procedure",
+    "bounded-stall",
+    "session-ownership",
+    "monotonic-checkpoint",
+    "bounded-queue",
+    "shed-priority-order",
+    "no-retry-amplification",
+];
+
 impl Scenario {
     /// Every built-in scenario.
     pub fn all() -> Vec<Scenario> {
@@ -200,6 +273,7 @@ impl Scenario {
                 crashes: span(1, 1),
                 partitions: span(0, 0),
                 invariants: NEUTRINO_INVARIANTS,
+                storm: None,
             },
             Scenario {
                 name: "partition",
@@ -216,6 +290,7 @@ impl Scenario {
                 crashes: span(0, 0),
                 partitions: span(1, 2),
                 invariants: NEUTRINO_INVARIANTS,
+                storm: None,
             },
             Scenario {
                 name: "chaos",
@@ -232,6 +307,7 @@ impl Scenario {
                 crashes: span(0, 2),
                 partitions: span(0, 2),
                 invariants: NEUTRINO_INVARIANTS,
+                storm: None,
             },
             Scenario {
                 name: "handover-failover",
@@ -248,6 +324,7 @@ impl Scenario {
                 crashes: span(1, 1),
                 partitions: span(0, 0),
                 invariants: NEUTRINO_INVARIANTS,
+                storm: None,
             },
             Scenario {
                 name: "epc-reattach",
@@ -264,6 +341,55 @@ impl Scenario {
                 crashes: span(1, 1),
                 partitions: span(0, 0),
                 invariants: BASELINE_INVARIANTS,
+                storm: None,
+            },
+            Scenario {
+                name: "flash-crowd-reattach",
+                summary: "regional blackout, then the whole population re-attaches at once",
+                system: "neutrino",
+                kind: "service-request",
+                rate_pps: span(400, 800),
+                ues: span(6_000, 10_000),
+                duration_ms: span(1_000, 2_000),
+                loss_ppm: span(0, 5_000),
+                duplicate_ppm: span(0, 3_000),
+                reorder_ppm: span(0, 10_000),
+                jitter_us: span(0, 20),
+                crashes: span(1, 2),
+                partitions: span(0, 0),
+                invariants: STORM_INVARIANTS,
+                storm: Some(StormSpec {
+                    shape: "flash-crowd",
+                    admission_rate_pps: span(2_500, 4_000),
+                    surge_mult: span(300, 500),
+                    pulses: span(0, 0),
+                    period_ms: span(0, 0),
+                    window_ms: span(0, 0),
+                }),
+            },
+            Scenario {
+                name: "iot-burst-storm",
+                summary: "IoT fleet wakes in synchronized diurnal pulses",
+                system: "neutrino",
+                kind: "tracking-area-update",
+                rate_pps: span(1_000, 1_000),
+                ues: span(2_000, 4_000),
+                duration_ms: span(6_000, 12_000),
+                loss_ppm: span(0, 5_000),
+                duplicate_ppm: span(0, 3_000),
+                reorder_ppm: span(0, 10_000),
+                jitter_us: span(0, 20),
+                crashes: span(0, 0),
+                partitions: span(0, 0),
+                invariants: STORM_INVARIANTS,
+                storm: Some(StormSpec {
+                    shape: "iot-burst",
+                    admission_rate_pps: span(1_500, 3_000),
+                    surge_mult: span(0, 0),
+                    pulses: span(2, 3),
+                    period_ms: span(3_000, 5_000),
+                    window_ms: span(50, 150),
+                }),
             },
         ]
     }
@@ -320,24 +446,60 @@ impl Scenario {
                 }
             })
             .collect();
+        // Field draws stay in this exact order: reordering them would
+        // silently change every existing (scenario, seed) plan.
+        let rate_pps = rng.range(self.rate_pps.lo, self.rate_pps.hi);
+        let ues = rng.range(self.ues.lo, self.ues.hi);
+        let loss_ppm = rng.range(self.loss_ppm.lo, self.loss_ppm.hi);
+        let duplicate_ppm = rng.range(self.duplicate_ppm.lo, self.duplicate_ppm.hi);
+        let reorder_ppm = rng.range(self.reorder_ppm.lo, self.reorder_ppm.hi);
+        let reorder_window_us = rng.range(100, 400);
+        let jitter_us = rng.range(self.jitter_us.lo, self.jitter_us.hi);
+        // Storm draws come after every pre-existing draw, so non-storm
+        // scenarios (which skip this block) keep their historic plans.
+        let mut crashes: Vec<CrashPlan> = crashes;
+        let storm = self.storm.map(|sp| {
+            let admission_rate_pps = rng.range(sp.admission_rate_pps.lo, sp.admission_rate_pps.hi);
+            let plan = StormPlan {
+                shape: sp.shape.to_string(),
+                admission_rate_pps,
+                queue_cap: AdmissionParams::for_rate(admission_rate_pps).queue_cap,
+                steady_ms: duration_ms,
+                surge_delay_ms: rng.range(200, 500),
+                surge_rate_pps: rate_pps * rng.range(sp.surge_mult.lo.max(1), sp.surge_mult.hi.max(1)),
+                tail_ms: 1_000,
+                pulses: rng.range(sp.pulses.lo, sp.pulses.hi),
+                period_ms: rng.range(sp.period_ms.lo, sp.period_ms.hi),
+                window_ms: rng.range(sp.window_ms.lo, sp.window_ms.hi),
+            };
+            if sp.shape == "flash-crowd" {
+                // The blackout IS the regional failure: every scheduled
+                // crash lands exactly when the steady phase ends.
+                for c in &mut crashes {
+                    c.at_ms = plan.steady_ms;
+                }
+            }
+            plan
+        });
         CasePlan {
             scenario: self.name.to_string(),
             seed,
             system: self.system.to_string(),
             kind: self.kind.to_string(),
-            rate_pps: rng.range(self.rate_pps.lo, self.rate_pps.hi),
-            ues: rng.range(self.ues.lo, self.ues.hi),
+            rate_pps,
+            ues,
             duration_ms,
             drain_ms: 10_000,
             check_interval_ms: 25,
-            loss_ppm: rng.range(self.loss_ppm.lo, self.loss_ppm.hi),
-            duplicate_ppm: rng.range(self.duplicate_ppm.lo, self.duplicate_ppm.hi),
-            reorder_ppm: rng.range(self.reorder_ppm.lo, self.reorder_ppm.hi),
-            reorder_window_us: rng.range(100, 400),
-            jitter_us: rng.range(self.jitter_us.lo, self.jitter_us.hi),
+            loss_ppm,
+            duplicate_ppm,
+            reorder_ppm,
+            reorder_window_us,
+            jitter_us,
             crashes,
             partitions,
             invariants: self.invariants.iter().map(|s| s.to_string()).collect(),
+            storm,
         }
     }
 }

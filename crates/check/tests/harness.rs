@@ -99,6 +99,112 @@ fn corpus_cases_replay_clean() {
     }
 }
 
+/// The flash-crowd storm under admission control: clean, and not
+/// vacuously — the gate must actually shed part of the herd, the UEs must
+/// see `Reject`s, and the queue must stay under the plan's cap.
+#[test]
+#[cfg_attr(debug_assertions, ignore = "simulation-scale test; run with --release")]
+fn flash_crowd_is_clean_and_actually_sheds() {
+    let plan = Scenario::by_name("flash-crowd-reattach").unwrap().plan(1);
+    let storm = plan.storm.as_ref().unwrap();
+    let report = run_case(&plan);
+    assert!(
+        report.is_clean(),
+        "flash-crowd seed 1 must be clean on a healthy tree:\n{}",
+        report.to_json()
+    );
+    let f = &report.fingerprint;
+    let shed: u64 = f.shed.iter().sum();
+    let admitted: u64 = f.admitted.iter().sum();
+    assert!(shed > 0, "the herd must overrun the gate (nothing was shed)");
+    assert!(admitted > 0, "the gate must admit the paced retries");
+    assert!(f.rejected > 0, "UEs must observe Reject frames");
+    assert!(
+        f.max_queue_depth <= storm.queue_cap,
+        "queue depth {} exceeds cap {}",
+        f.max_queue_depth,
+        storm.queue_cap
+    );
+    assert!(
+        f.completed > 0 && f.started > 0,
+        "admitted work must complete"
+    );
+}
+
+/// The same storm with the admission gate disabled must demonstrably
+/// violate `bounded-queue` — the invariant is falsifiable, and admission
+/// is what holds it.
+#[test]
+#[cfg_attr(debug_assertions, ignore = "simulation-scale test; run with --release")]
+fn flash_crowd_without_admission_overflows_the_queue() {
+    let mut plan = Scenario::by_name("flash-crowd-reattach").unwrap().plan(1);
+    plan.storm.as_mut().unwrap().admission_rate_pps = 0;
+    let report = run_case(&plan);
+    assert!(
+        !report.is_clean(),
+        "an ungated flash crowd must violate at least bounded-queue"
+    );
+    assert!(
+        report
+            .violations
+            .iter()
+            .any(|v| v.invariant == "bounded-queue"),
+        "bounded-queue must be among the violations:\n{}",
+        report.to_json()
+    );
+    assert_eq!(
+        report.fingerprint.rejected, 0,
+        "no gate, no rejects — the overload is pure queue growth"
+    );
+}
+
+/// The IoT pulse storm under admission control: clean, sheds, and every
+/// pulse's retries drain before the run ends.
+#[test]
+#[cfg_attr(debug_assertions, ignore = "simulation-scale test; run with --release")]
+fn iot_burst_storm_is_clean_and_actually_sheds() {
+    let plan = Scenario::by_name("iot-burst-storm").unwrap().plan(1);
+    let storm = plan.storm.as_ref().unwrap();
+    let report = run_case(&plan);
+    assert!(
+        report.is_clean(),
+        "iot-burst seed 1 must be clean on a healthy tree:\n{}",
+        report.to_json()
+    );
+    let f = &report.fingerprint;
+    assert!(f.shed.iter().sum::<u64>() > 0, "pulses must overrun the gate");
+    assert!(f.rejected > 0, "UEs must observe Reject frames");
+    assert!(f.max_queue_depth <= storm.queue_cap);
+}
+
+/// Same-seed replay across worker counts (the overload-control
+/// determinism witness): identical plans produce byte-identical reports —
+/// including the shed/admit class counters — whether the sweep runs on 1
+/// or 8 jobs.
+#[test]
+#[cfg_attr(debug_assertions, ignore = "simulation-scale test; run with --release")]
+fn storm_reports_are_independent_of_jobs() {
+    let scenario = Scenario::by_name("flash-crowd-reattach").unwrap();
+    let run_sweep = |jobs: usize| -> Vec<String> {
+        let cells = (1..4u64)
+            .map(|seed| {
+                let plan = scenario.plan(seed);
+                Box::new(move || run_case(&plan).to_json())
+                    as Box<dyn FnOnce() -> String + Send>
+            })
+            .collect();
+        run_cells_with(jobs, cells)
+    };
+    let (one, eight) = (run_sweep(1), run_sweep(8));
+    assert_eq!(one, eight, "storm reports must not depend on --jobs");
+    for json in &one {
+        assert!(
+            json.contains("\"shed\""),
+            "the replay witness must cover the shed/admit sequence"
+        );
+    }
+}
+
 /// Results are input-ordered regardless of worker count, so a sweep's
 /// output is byte-identical for any `--jobs`.
 #[test]

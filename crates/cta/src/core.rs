@@ -1,5 +1,6 @@
 //! The CTA state machine.
 
+use crate::admission::{AdmissionControl, AdmissionDecision, AdmissionParams};
 use crate::log::MessageLog;
 use neutrino_codec::CodecKind;
 use neutrino_common::clock::ClockTick;
@@ -7,9 +8,15 @@ use neutrino_common::time::{Duration, Instant};
 use neutrino_common::{BsId, CpfId, CtaId, ProcedureId, UeId};
 use neutrino_geo::RingStack;
 use neutrino_messages::costs::CostTable;
-use neutrino_messages::sysmsg::{MarkOutdated, Replay, SyncAck, SysMsg};
+use neutrino_messages::sysmsg::{AdmissionClass, MarkOutdated, Replay, SyncAck, SysMsg};
 use neutrino_messages::{Direction, Envelope};
 use std::collections::{BTreeMap, BTreeSet};
+
+/// Consecutive unanswered resync chases to one CPF before the circuit
+/// breaker opens (overload mode only).
+const RESYNC_BREAKER_TRIP: u32 = 3;
+/// How long an open breaker suppresses further chases to that CPF.
+const RESYNC_BREAKER_COOLDOWN: Duration = Duration::from_secs(8);
 
 /// What the CTA does when a UE's primary CPF is down.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -45,6 +52,10 @@ pub struct CtaConfig {
     /// The codec in use — determines the wire size the log charges per
     /// message.
     pub codec: CodecKind,
+    /// Ingress admission gate (overload control). `None` — the default in
+    /// every stock configuration — admits everything and leaves behavior
+    /// byte-identical to the pre-overload-control tree.
+    pub admission: Option<AdmissionParams>,
 }
 
 impl CtaConfig {
@@ -58,6 +69,7 @@ impl CtaConfig {
             ack_timeout: Duration::from_secs(30),
             resync_base: Duration::from_secs(4),
             codec,
+            admission: None,
         }
     }
 
@@ -70,6 +82,7 @@ impl CtaConfig {
             ack_timeout: Duration::from_secs(30),
             resync_base: Duration::from_secs(4),
             codec: CodecKind::Asn1Per,
+            admission: None,
         }
     }
 }
@@ -117,6 +130,21 @@ pub struct CtaMetrics {
     /// procedure a resync request named (it missed the messages, so it had
     /// nothing to re-checkpoint).
     pub resyncs_replayed: u64,
+    /// Procedure-start uplinks admitted by the ingress gate, indexed by
+    /// [`AdmissionClass::raw`] (highest priority first).
+    pub admitted_by_class: [u64; 4],
+    /// Procedure-start uplinks shed by the ingress gate, indexed by
+    /// [`AdmissionClass::raw`].
+    pub shed_by_class: [u64; 4],
+    /// `Reject` frames sent back toward UEs (one per shed uplink).
+    pub rejects_sent: u64,
+    /// ACK-timeout scans skipped because the admission gate was under
+    /// pressure (the level-2 replication sweep is deferred, not dropped).
+    pub acks_deferred: u64,
+    /// Times the resync-chase circuit breaker opened on a CPF.
+    pub breaker_opened: u64,
+    /// Resync chases suppressed by an open breaker.
+    pub breaker_suppressed: u64,
 }
 
 /// The Control Traffic Aggregator state machine.
@@ -136,11 +164,19 @@ pub struct CtaCore {
     failed: BTreeSet<CpfId>,
     costs: &'static CostTable,
     metrics: CtaMetrics,
+    /// Ingress admission gate; `None` admits everything (stock behavior).
+    admission: Option<AdmissionControl>,
+    /// Consecutive resync chases per CPF since its last sign of life
+    /// (a `SyncAck` routed through it or a `ResyncBehind` report).
+    resync_chases: BTreeMap<CpfId, u32>,
+    /// CPFs whose resync-chase breaker is open, and until when.
+    resync_open_until: BTreeMap<CpfId, Instant>,
 }
 
 impl CtaCore {
     /// Creates a CTA over a region's ring stack.
     pub fn new(config: CtaConfig, ring: RingStack) -> Self {
+        let admission = config.admission.map(AdmissionControl::new);
         CtaCore {
             config,
             ring,
@@ -151,6 +187,9 @@ impl CtaCore {
             failed: BTreeSet::new(),
             costs: CostTable::baked(),
             metrics: CtaMetrics::default(),
+            admission,
+            resync_chases: BTreeMap::new(),
+            resync_open_until: BTreeMap::new(),
         }
     }
 
@@ -162,6 +201,12 @@ impl CtaCore {
     /// Counters.
     pub fn metrics(&self) -> CtaMetrics {
         self.metrics
+    }
+
+    /// The ingress admission gate, when overload control is enabled
+    /// (invariants read its shed/admit evidence).
+    pub fn admission(&self) -> Option<&AdmissionControl> {
+        self.admission.as_ref()
     }
 
     /// Read-only view of the message log (consistency auditing).
@@ -255,6 +300,31 @@ impl CtaCore {
     /// logical clock, log, and forward to the primary CPF — or run failure
     /// recovery when the primary is down.
     pub fn on_uplink(&mut self, mut env: Envelope, now: Instant) -> Vec<CtaOutput> {
+        // Ingress admission (overload control): gate *procedure-start*
+        // uplinks before any clock or log state is touched, so a shed
+        // procedure leaves no trace. Mid-procedure messages always pass —
+        // once work is admitted it is carried to completion (this is what
+        // keeps `failed_procedures` at zero for admitted work), and the
+        // gate itself admits retransmits of an already-charged start for
+        // free.
+        if env.msg.kind() == env.proc_kind.template().steps[0].kind {
+            if let Some(gate) = self.admission.as_mut() {
+                let class = AdmissionClass::of(env.proc_kind);
+                match gate.decide(env.ue, env.procedure, class, now) {
+                    AdmissionDecision::Admit => {
+                        self.metrics.admitted_by_class[class.raw() as usize] += 1;
+                    }
+                    AdmissionDecision::Shed { retry_after_ms } => {
+                        self.metrics.shed_by_class[class.raw() as usize] += 1;
+                        self.metrics.rejects_sent += 1;
+                        return vec![CtaOutput::ToBs {
+                            bs: env.bs,
+                            msg: SysMsg::Reject { ue: env.ue, class, retry_after_ms },
+                        }];
+                    }
+                }
+            }
+        }
         let tick = self.clock.tick();
         env.clock = tick;
         env.via_cta = Some(self.config.id);
@@ -354,6 +424,14 @@ impl CtaCore {
     pub fn on_sync_ack(&mut self, ack: SyncAck, _now: Instant) -> Vec<CtaOutput> {
         let expected = self.expected_ack_set(ack.ue);
         self.log.ack(ack.ue, ack.procedure, ack.replica, &expected);
+        // An ACK flowing for this UE means its primary's checkpoint path is
+        // alive again: reset that CPF's resync-chase breaker.
+        if self.admission.is_some() {
+            if let Some(primary) = self.primary_for(ack.ue) {
+                self.resync_chases.remove(&primary);
+                self.resync_open_until.remove(&primary);
+            }
+        }
         Vec::new()
     }
 
@@ -364,6 +442,11 @@ impl CtaCore {
     /// the replayed messages makes the primary complete the procedure,
     /// commit, and checkpoint to its backups, whose ACKs then prune the log.
     pub fn on_resync_behind(&mut self, ue: UeId, have: ProcedureId, cpf: CpfId) -> Vec<CtaOutput> {
+        // The CPF answered a chase — alive, just behind. Close its breaker.
+        if self.admission.is_some() {
+            self.resync_chases.remove(&cpf);
+            self.resync_open_until.remove(&cpf);
+        }
         if !self.config.logging
             || self.failed.contains(&cpf)
             || self.primary_for(ue) != Some(cpf)
@@ -501,6 +584,17 @@ impl CtaCore {
     /// otherwise leaves the replicas permanently behind), backing off
     /// exponentially from [`CtaConfig::resync_base`] per attempt.
     pub fn scan(&mut self, now: Instant) -> Vec<CtaOutput> {
+        // Graceful degradation: while the admission gate is shedding, the
+        // level-2 replication sweep (converged pruning, resync chases, and
+        // ACK-timeout expiry) is *deferred* — the log keeps every
+        // unconverged procedure, so the consistency audit stays clean, and
+        // the sweep resumes untouched once the storm drains.
+        if let Some(gate) = self.admission.as_mut() {
+            if gate.under_pressure(now) {
+                self.metrics.acks_deferred += 1;
+                return Vec::new();
+            }
+        }
         let timeout = self.config.ack_timeout;
         let base = self.config.resync_base.as_nanos();
         let mut completed: Vec<(UeId, ProcedureId, Instant, u32)> = Vec::new();
@@ -573,6 +667,23 @@ impl CtaCore {
                 Some(p) if !self.failed.contains(&p) => p,
                 _ => continue, // failover will rebuild state instead
             };
+            // Circuit breaker (overload mode only): a primary that has
+            // soaked up several chases without a sign of life is struggling
+            // — hammering it with more re-checkpoint requests only deepens
+            // its queue. Suppress chases to it for a cooldown instead.
+            if self.admission.is_some() {
+                if self.resync_open_until.get(&primary).is_some_and(|&until| now < until) {
+                    self.metrics.breaker_suppressed += 1;
+                    continue;
+                }
+                let chases = self.resync_chases.entry(primary).or_insert(0);
+                *chases += 1;
+                if *chases >= RESYNC_BREAKER_TRIP {
+                    *chases = 0;
+                    self.resync_open_until.insert(primary, now + RESYNC_BREAKER_COOLDOWN);
+                    self.metrics.breaker_opened += 1;
+                }
+            }
             asked.insert(ue);
             self.metrics.resyncs_requested += 1;
             out.push(CtaOutput::ToCpf {
@@ -1126,6 +1237,136 @@ mod tests {
             )),
             "laggard must be notified: {outs:?}"
         );
+    }
+
+    fn cta_with_admission(params: AdmissionParams) -> CtaCore {
+        let mut cfg = CtaConfig::neutrino(CtaId::new(0), CodecKind::FastbufOptimized);
+        cfg.admission = Some(params);
+        CtaCore::new(cfg, ring())
+    }
+
+    fn tight_params() -> AdmissionParams {
+        // Service-request reserve is burst/8 (0.5 tokens): with 4 tokens of
+        // burst, exactly 3 service-request starts admit before shedding.
+        AdmissionParams { rate_pps: 10, burst: 4, queue_cap: 16, retry_after_base_ms: 20 }
+    }
+
+    #[test]
+    fn admission_sheds_with_reject_and_leaves_no_log_trace() {
+        let mut c = cta_with_admission(tight_params());
+        for ue in 0..3u64 {
+            let outs = c.on_uplink(ul(ue, 1, MessageKind::ServiceRequest, false), Instant::ZERO);
+            assert!(matches!(outs[0], CtaOutput::ToCpf { .. }), "{outs:?}");
+        }
+        let bytes_before = c.log_bytes();
+        let outs = c.on_uplink(ul(3, 1, MessageKind::ServiceRequest, false), Instant::ZERO);
+        assert!(
+            matches!(
+                outs.as_slice(),
+                [CtaOutput::ToBs {
+                    bs,
+                    msg: SysMsg::Reject { ue, class: AdmissionClass::ServiceRequest, .. },
+                }] if *bs == BsId::new(1) && *ue == UeId::new(3)
+            ),
+            "fourth start must shed explicitly: {outs:?}"
+        );
+        assert_eq!(c.log_bytes(), bytes_before, "a shed uplink must leave no log trace");
+        assert_eq!(c.metrics().rejects_sent, 1);
+        assert_eq!(c.metrics().shed_by_class[AdmissionClass::ServiceRequest.raw() as usize], 1);
+        assert_eq!(c.metrics().admitted_by_class[AdmissionClass::ServiceRequest.raw() as usize], 3);
+    }
+
+    #[test]
+    fn admission_passes_mid_procedure_messages_of_admitted_work() {
+        let mut c = cta_with_admission(tight_params());
+        // Admit UE 0's procedure, then drain the remaining budget.
+        c.on_uplink(ul(0, 1, MessageKind::ServiceRequest, false), Instant::ZERO);
+        c.on_uplink(ul(1, 1, MessageKind::ServiceRequest, false), Instant::ZERO);
+        c.on_uplink(ul(2, 1, MessageKind::ServiceRequest, false), Instant::ZERO);
+        // Budget exhausted — but UE 0's later step and its retransmitted
+        // start both pass.
+        let outs = c.on_uplink(
+            ul(0, 1, MessageKind::InitialContextSetupResponse, true),
+            Instant::ZERO,
+        );
+        assert!(matches!(outs.last(), Some(CtaOutput::ToCpf { .. })), "{outs:?}");
+        let outs = c.on_uplink(ul(0, 1, MessageKind::ServiceRequest, false), Instant::ZERO);
+        assert!(
+            matches!(outs.last(), Some(CtaOutput::ToCpf { .. })),
+            "retransmit of an admitted start must pass: {outs:?}"
+        );
+        assert_eq!(c.metrics().rejects_sent, 0);
+    }
+
+    #[test]
+    fn scan_defers_under_pressure_and_resumes_after_drain() {
+        let mut c = cta_with_admission(tight_params());
+        c.on_uplink(ul(3, 1, MessageKind::ServiceRequest, true), Instant::ZERO);
+        // Drain the bucket below the detach reserve.
+        c.on_uplink(ul(4, 1, MessageKind::ServiceRequest, false), Instant::ZERO);
+        // 50ms later only half a token has refilled — still under pressure.
+        assert!(c.scan(Instant::from_millis(50)).is_empty(), "scan must defer under pressure");
+        assert_eq!(c.metrics().acks_deferred, 1);
+        assert!(c.log_bytes() > 0, "deferred sweep must not prune the log");
+        // After refill the sweep resumes and chases the missing ACKs.
+        let outs = c.scan(Instant::from_secs(10));
+        assert!(
+            outs.iter().any(|o| matches!(
+                o,
+                CtaOutput::ToCpf { msg: SysMsg::ResyncRequest { .. }, .. }
+            )),
+            "sweep must resume after the storm drains: {outs:?}"
+        );
+    }
+
+    #[test]
+    fn resync_breaker_opens_after_repeated_chases_and_resets_on_ack() {
+        let mut params = tight_params();
+        // Plenty of budget so pressure never defers the scan itself.
+        params.rate_pps = 100_000;
+        params.burst = 100_000;
+        let mut c = cta_with_admission(params);
+        // Find two UEs sharing a primary; the lower id trips the breaker
+        // and the higher id's chase is then suppressed in the same scan.
+        let mut by_primary: BTreeMap<CpfId, Vec<u64>> = BTreeMap::new();
+        for ue in 0..50u64 {
+            let p = c.primary_for(UeId::new(ue)).unwrap();
+            by_primary.entry(p).or_default().push(ue);
+        }
+        let (primary, ues) =
+            by_primary.into_iter().find(|(_, v)| v.len() >= 2).expect("shared primary");
+        let (ua, ub) = (ues[0], ues[1]);
+        // ua completes at t=0: chases due at 4s, 8s, 16s (trip on the 3rd).
+        c.on_uplink(ul(ua, 1, MessageKind::ServiceRequest, true), Instant::ZERO);
+        assert!(!c.scan(Instant::from_secs(5)).is_empty());
+        assert!(!c.scan(Instant::from_secs(9)).is_empty());
+        // ub completes at t=13: its first chase is due at 17s — the same
+        // scan in which ua's third chase trips the breaker.
+        c.on_uplink(ul(ub, 1, MessageKind::ServiceRequest, true), Instant::from_secs(13));
+        let outs = c.scan(Instant::from_secs(17));
+        let chased: Vec<UeId> = outs
+            .iter()
+            .filter_map(|o| match o {
+                CtaOutput::ToCpf { msg: SysMsg::ResyncRequest { ue, .. }, .. } => Some(*ue),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(chased, vec![UeId::new(ua)], "ub's chase must be suppressed: {outs:?}");
+        assert_eq!(c.metrics().breaker_opened, 1);
+        assert_eq!(c.metrics().breaker_suppressed, 1);
+        // A sync ACK through the shared primary closes the breaker.
+        let replica = c.backups_for(UeId::new(ua))[0];
+        c.on_sync_ack(
+            SyncAck {
+                ue: UeId::new(ua),
+                replica,
+                procedure: ProcedureId::new(1),
+                end_clock: ClockTick(1),
+            },
+            Instant::from_secs(18),
+        );
+        assert!(!c.resync_open_until.contains_key(&primary));
+        assert!(!c.resync_chases.contains_key(&primary));
     }
 
     #[test]

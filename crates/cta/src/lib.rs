@@ -15,8 +15,10 @@
 #![deny(unreachable_pub)]
 #![warn(missing_docs)]
 
+pub mod admission;
 pub mod core;
 pub mod log;
 
 pub use crate::core::{CtaConfig, CtaCore, CtaMetrics, CtaOutput, FailoverPolicy};
+pub use admission::{AdmissionControl, AdmissionDecision, AdmissionParams};
 pub use log::{MessageLog, ProcedureLog};

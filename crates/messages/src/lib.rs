@@ -35,5 +35,5 @@ pub mod wire;
 
 pub use control::{ControlMessage, Direction, Envelope, MessageKind};
 pub use procedures::{ProcedureKind, ProcedureTemplate};
-pub use sysmsg::SysMsg;
+pub use sysmsg::{AdmissionClass, SysMsg};
 pub use wire::Wire;

@@ -6,9 +6,81 @@
 //! and both drivers share them.
 
 use crate::control::Envelope;
+use crate::procedures::ProcedureKind;
 use crate::state::UeState;
 use neutrino_common::clock::ClockTick;
 use neutrino_common::{BsId, CpfId, CtaId, ProcedureId, SessionId, UeId, UpfId};
+
+/// Priority class the CTA ingress admission layer sorts control procedures
+/// into. Lower raw value = higher priority; under overload the admission
+/// layer sheds from the *highest* raw value (lowest priority) upward, so a
+/// handover is never dropped while a detach is admitted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+pub enum AdmissionClass {
+    /// Handovers: an ongoing session is mid-flight across cells — dropping
+    /// one severs a live connection.
+    Handover = 0,
+    /// Service requests and tracking-area updates: idle→active transitions
+    /// and mobility updates for already-registered UEs.
+    ServiceRequest = 1,
+    /// Initial attaches and re-attaches: new registrations can wait out a
+    /// storm and retry.
+    Attach = 2,
+    /// Detaches: the UE is leaving anyway; its session times out harmlessly
+    /// if the detach is shed.
+    Detach = 3,
+}
+
+impl AdmissionClass {
+    /// Every class, highest priority first.
+    pub const ALL: &'static [AdmissionClass] = &[
+        AdmissionClass::Handover,
+        AdmissionClass::ServiceRequest,
+        AdmissionClass::Attach,
+        AdmissionClass::Detach,
+    ];
+
+    /// The class a procedure kind belongs to.
+    pub fn of(kind: ProcedureKind) -> AdmissionClass {
+        match kind {
+            ProcedureKind::HandoverWithCpfChange | ProcedureKind::FastHandover => {
+                AdmissionClass::Handover
+            }
+            ProcedureKind::ServiceRequest | ProcedureKind::TrackingAreaUpdate => {
+                AdmissionClass::ServiceRequest
+            }
+            ProcedureKind::InitialAttach | ProcedureKind::ReAttach => AdmissionClass::Attach,
+            ProcedureKind::Detach => AdmissionClass::Detach,
+        }
+    }
+
+    /// Wire encoding.
+    pub fn raw(self) -> u8 {
+        self as u8
+    }
+
+    /// Wire decoding.
+    pub fn from_raw(raw: u8) -> Option<AdmissionClass> {
+        match raw {
+            0 => Some(AdmissionClass::Handover),
+            1 => Some(AdmissionClass::ServiceRequest),
+            2 => Some(AdmissionClass::Attach),
+            3 => Some(AdmissionClass::Detach),
+            _ => None,
+        }
+    }
+
+    /// Short label for traces and figure output.
+    pub fn label(self) -> &'static str {
+        match self {
+            AdmissionClass::Handover => "handover",
+            AdmissionClass::ServiceRequest => "service-request",
+            AdmissionClass::Attach => "attach",
+            AdmissionClass::Detach => "detach",
+        }
+    }
+}
 
 /// A UE-state checkpoint from the primary CPF to a backup (§4.2.2): sent on
 /// procedure completion (Neutrino) or on every message (SkyCore /
@@ -213,6 +285,18 @@ pub enum SysMsg {
         /// The CPF that is behind.
         cpf: CpfId,
     },
+    /// CTA → UE (via its BS): the ingress admission layer shed this uplink
+    /// instead of queueing it — explicit backpressure, never a silent drop.
+    /// The UE must wait at least `retry_after_ms` before re-offering the
+    /// procedure (and counts the rejection against its retry budget).
+    Reject {
+        /// The UE whose uplink was shed.
+        ue: UeId,
+        /// The admission class that was shed.
+        class: AdmissionClass,
+        /// Minimum client back-off before retrying, in milliseconds.
+        retry_after_ms: u64,
+    },
 }
 
 impl SysMsg {
@@ -236,6 +320,7 @@ impl SysMsg {
             SysMsg::CpfFailure { .. } => "cpf-failure",
             SysMsg::ResyncRequest { .. } => "resync-request",
             SysMsg::ResyncBehind { .. } => "resync-behind",
+            SysMsg::Reject { .. } => "reject",
         }
     }
 }

@@ -311,6 +311,12 @@ impl<M: Clone + 'static> Sim<M> {
             duplicated: self.duplicated,
             reordered: self.reordered,
             dropped_unroutable: self.dropped_unroutable,
+            max_queue_depth: self
+                .nodes
+                .iter()
+                .map(|n| n.stats.max_queue_depth)
+                .max()
+                .unwrap_or(0),
         }
     }
 

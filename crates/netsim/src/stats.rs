@@ -65,6 +65,9 @@ pub struct SimStats {
     /// Deliveries addressed to a node id that was never registered. Always
     /// zero in a correctly wired cluster — nonzero means misrouting.
     pub dropped_unroutable: u64,
+    /// Largest per-node queue depth observed anywhere in the simulation —
+    /// the quantity the overload-control `bounded-queue` invariant caps.
+    pub max_queue_depth: usize,
 }
 
 impl SimStats {

@@ -12,6 +12,10 @@ use neutrino_messages::SysMsg;
 use neutrino_netsim::{FaultSpec, LinkSpec, Links, Sim, SimConfig};
 use neutrino_upf::UpfCore;
 
+/// Merged admission-gate priority evidence: per class, the lowest token
+/// level a request was admitted at and the highest level one was shed at.
+pub type AdmissionEvidence = ([Option<u64>; 4], [Option<u64>; 4]);
+
 /// The simulator's message type: protocol traffic plus the bootstrap kick
 /// for the UE population's arrival loop.
 #[derive(Debug, Clone, PartialEq)]
@@ -128,6 +132,12 @@ impl Cluster {
         // instances (§5); sibling regions host the level-2 backup replicas
         // and handover targets.
         uecfg.codec = config.codec;
+        // Overload control is end-to-end: when the CTA gates ingress, the
+        // UEs also spread their re-offers with exponential backoff instead
+        // of re-offering in lockstep the moment `retry_after` elapses.
+        if config.admission.is_some() && uecfg.backoff_base == Duration::ZERO {
+            uecfg.backoff_base = Duration::from_millis(50);
+        }
         // Route 0 (region 0) carries all traffic — the paper's testbed
         // shape; the rest are fallbacks for CTA-failure recovery
         // (§4.2.5 scenario 4).
@@ -159,6 +169,7 @@ impl Cluster {
                     Duration::from_secs(4)
                 },
                 codec: config.codec,
+                admission: config.admission,
             };
             sim.add_node(
                 cta_node(region.cta),
@@ -397,9 +408,60 @@ impl Cluster {
                 agg.timeout_pruned += m.timeout_pruned;
                 agg.resyncs_requested += m.resyncs_requested;
                 agg.resyncs_replayed += m.resyncs_replayed;
+                for i in 0..4 {
+                    agg.admitted_by_class[i] += m.admitted_by_class[i];
+                    agg.shed_by_class[i] += m.shed_by_class[i];
+                }
+                agg.rejects_sent += m.rejects_sent;
+                agg.acks_deferred += m.acks_deferred;
+                agg.breaker_opened += m.breaker_opened;
+                agg.breaker_suppressed += m.breaker_suppressed;
             }
         }
         agg
+    }
+
+    /// Admission-gate priority evidence, merged across regions: per class,
+    /// the lowest token level admitted at and the highest level shed at
+    /// (the `shed-priority-order` invariant's witness).
+    pub fn admission_evidence(&mut self) -> Option<AdmissionEvidence> {
+        let ctas: Vec<_> = self.deployment.regions().iter().map(|r| r.cta).collect();
+        let mut merged: Option<AdmissionEvidence> = None;
+        for cta in ctas {
+            let Some(node) = self.sim.node_as::<CtaNode>(cta_node(cta)) else { continue };
+            let Some(gate) = node.core().admission() else { continue };
+            let (admit, shed) = gate.priority_evidence();
+            let (ma, ms) = merged.get_or_insert(([None; 4], [None; 4]));
+            for i in 0..4 {
+                ma[i] = match (ma[i], admit[i]) {
+                    (Some(a), Some(b)) => Some(a.min(b)),
+                    (a, b) => a.or(b),
+                };
+                ms[i] = match (ms[i], shed[i]) {
+                    (Some(a), Some(b)) => Some(a.max(b)),
+                    (a, b) => a.or(b),
+                };
+            }
+        }
+        merged
+    }
+
+    /// Largest engine queue depth across the control-plane nodes (CTAs,
+    /// CPFs, UPFs) — the `bounded-queue` invariant's observable. The UE
+    /// population node is excluded: it models the device fleet, not a
+    /// control-plane queue.
+    pub fn max_control_queue_depth(&self) -> usize {
+        let mut ids = Vec::new();
+        for region in self.deployment.regions() {
+            ids.push(cta_node(region.cta));
+            ids.extend(region.cpfs.iter().map(|&c| cpf_node(c)));
+            ids.extend(region.upfs.iter().map(|&u| upf_node(u)));
+        }
+        ids.into_iter()
+            .filter_map(|id| self.sim.stats(id))
+            .map(|s| s.max_queue_depth)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Aggregated CPF metrics.

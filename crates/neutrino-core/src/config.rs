@@ -3,7 +3,7 @@
 use neutrino_codec::CodecKind;
 use neutrino_common::time::Duration;
 use neutrino_cpf::ReplicationMode;
-use neutrino_cta::FailoverPolicy;
+use neutrino_cta::{AdmissionParams, FailoverPolicy};
 
 /// Which published system a configuration models.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -113,6 +113,18 @@ pub struct SystemConfig {
     pub replicas: usize,
     /// CPU provisioning.
     pub cpu: CpuProfile,
+    /// CTA ingress admission gate (overload control). `None` — the stock
+    /// setting for every baseline — admits everything, preserving
+    /// byte-identical behavior with pre-overload-control runs.
+    pub admission: Option<AdmissionParams>,
+}
+
+impl SystemConfig {
+    /// This configuration with the CTA admission gate enabled.
+    pub fn with_admission(mut self, params: AdmissionParams) -> Self {
+        self.admission = Some(params);
+        self
+    }
 }
 
 impl SystemConfig {
@@ -133,6 +145,7 @@ impl SystemConfig {
             enforce_consistency: true,
             replicas: 2,
             cpu: CpuProfile::default(),
+            admission: None,
         }
     }
 
@@ -191,6 +204,7 @@ impl SystemConfig {
             enforce_consistency: true,
             replicas: 0,
             cpu: CpuProfile::default(),
+            admission: None,
         }
     }
 
@@ -222,6 +236,7 @@ impl SystemConfig {
             enforce_consistency: false,
             replicas: 0,
             cpu: CpuProfile::default(),
+            admission: None,
         }
     }
 

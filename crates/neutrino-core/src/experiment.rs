@@ -101,6 +101,13 @@ pub struct RunResults {
     pub skipped_busy: u64,
     /// S1AP retransmissions the UE population sent.
     pub retransmissions: u64,
+    /// Procedures UEs abandoned after exhausting their retry budget.
+    pub retries_exhausted: u64,
+    /// Admission `Reject` frames UEs received.
+    pub rejected: u64,
+    /// Largest engine queue depth across control-plane nodes (CTAs, CPFs,
+    /// UPFs) over the whole run.
+    pub max_queue_depth: usize,
     /// Procedures still in flight when the run ended (0 after a fully
     /// drained run).
     pub incomplete: u64,
@@ -224,6 +231,7 @@ pub fn run_experiment(spec: ExperimentSpec) -> RunResults {
     });
     let results = cluster.take_results();
     let cta = cluster.cta_metrics();
+    let max_queue_depth = cluster.max_control_queue_depth();
     RunResults {
         pct: results.pct,
         windows: results.windows,
@@ -232,6 +240,9 @@ pub fn run_experiment(spec: ExperimentSpec) -> RunResults {
         re_attached: results.re_attached,
         skipped_busy: results.skipped_busy,
         retransmissions: results.retransmissions,
+        retries_exhausted: results.retries_exhausted,
+        rejected: results.rejected,
+        max_queue_depth,
         incomplete: results.incomplete,
         failed_procedures: results.incomplete + cta.timeout_pruned,
         max_log_bytes: cluster.max_log_bytes(),

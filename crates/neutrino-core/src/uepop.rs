@@ -83,6 +83,18 @@ pub struct UePopConfig {
     pub retry_timeout: Duration,
     /// Retries before giving up and re-attaching.
     pub max_retries: u32,
+    /// Total retry *budget* per procedure: retransmissions, reject
+    /// re-offers, and re-attach restarts all draw from it. Once spent, the
+    /// UE abandons the procedure (`retries_exhausted`) instead of looping
+    /// forever — PR 3's give-up → re-attach cycle never terminated when
+    /// the CTA stayed unreachable.
+    pub max_attempts: u32,
+    /// Base of the exponential backoff added on top of a `Reject`'s
+    /// `retry_after_ms`. `ZERO` (the default) adds only the deterministic
+    /// jitter.
+    pub backoff_base: Duration,
+    /// Ceiling of the exponential backoff term.
+    pub backoff_cap: Duration,
     /// Record every k-th completed PCT sample (1 = all).
     pub pct_sample_every: u64,
     /// UEs whose data-access interruption windows are recorded (the app
@@ -102,6 +114,9 @@ impl Default for UePopConfig {
             }],
             retry_timeout: Duration::from_secs(1),
             max_retries: 2,
+            max_attempts: 16,
+            backoff_base: Duration::ZERO,
+            backoff_cap: Duration::from_secs(4),
             pct_sample_every: 1,
             record_windows_for: BTreeSet::new(),
             cores: 64,
@@ -146,6 +161,10 @@ pub struct UePopResults {
     pub incomplete: u64,
     /// Paging messages received (downlink reachability).
     pub paged: u64,
+    /// Procedures abandoned because their retry budget ran out.
+    pub retries_exhausted: u64,
+    /// `Reject` frames received from the admission gate.
+    pub rejected: u64,
 }
 
 #[derive(Debug, Clone)]
@@ -160,9 +179,22 @@ struct Active {
     retries: u32,
     last_progress: Instant,
     last_uplink: Option<Envelope>,
+    /// Lifetime retry-budget charges (survives re-attach restarts).
+    budget_used: u32,
+    /// Set while honoring a `Reject`: no re-offer before this instant.
+    deferred_until: Option<Instant>,
 }
 
 const ARRIVAL_TIMER: u64 = u64::MAX;
+
+/// The splitmix64 finalizer: a stateless bijective mixer, used for the
+/// per-(UE, attempt) backoff jitter so no RNG state is shared.
+fn splitmix64(seed: u64) -> u64 {
+    let mut x = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
 
 /// The UE/BS population node.
 pub struct UePopulation {
@@ -273,6 +305,7 @@ impl UePopulation {
         kind: ProcedureKind,
         report_kind: ProcedureKind,
         started: Instant,
+        budget_used: u32,
         out: &mut Outbox<SimMsg>,
     ) {
         let procedure = self.next_procedure_id(ue);
@@ -289,10 +322,30 @@ impl UePopulation {
                 retries: 0,
                 last_progress: out.now(),
                 last_uplink: None,
+                budget_used,
+                deferred_until: None,
             },
         );
         self.send_uplink(ue, 0, out);
         out.set_timer(self.config.retry_timeout, ue.raw());
+    }
+
+    /// Spends one unit of `ue`'s retry budget. Returns `true` when the
+    /// budget is exhausted — the procedure has then been abandoned.
+    fn charge_budget(&mut self, ue: UeId) -> bool {
+        let a = match self.active.get_mut(&ue) {
+            Some(a) => a,
+            None => return false,
+        };
+        a.budget_used += 1;
+        if a.budget_used > self.config.max_attempts {
+            self.active.remove(&ue);
+            self.give_ups.remove(&ue);
+            self.results.retries_exhausted += 1;
+            true
+        } else {
+            false
+        }
     }
 
     fn record_completion(&mut self, ue: UeId, now: Instant) {
@@ -339,6 +392,7 @@ impl UePopulation {
                     ProcedureKind::ServiceRequest,
                     ProcedureKind::ServiceRequest,
                     now,
+                    0,
                     out,
                 );
             }
@@ -393,20 +447,49 @@ impl UePopulation {
     }
 
     fn on_ask_re_attach(&mut self, ue: UeId, out: &mut Outbox<SimMsg>) {
-        self.results.re_attached += 1;
         let now = out.now();
-        let (report_kind, started) = match self.active.get(&ue) {
+        let (report_kind, started, budget) = match self.active.get(&ue) {
             // Failure mid-procedure: the PCT keeps accumulating from the
-            // original start, as §6.4 measures it.
-            Some(a) => (a.report_kind, a.started),
+            // original start, as §6.4 measures it — and the restart draws
+            // from the same retry budget.
+            Some(a) => (a.report_kind, a.started, a.budget_used + 1),
             // Idle UE told to re-attach: a fresh re-attach procedure.
-            None => (ProcedureKind::ReAttach, now),
+            None => (ProcedureKind::ReAttach, now, 0),
         };
-        self.start_procedure(ue, ProcedureKind::ReAttach, report_kind, started, out);
+        if budget > self.config.max_attempts {
+            self.active.remove(&ue);
+            self.give_ups.remove(&ue);
+            self.results.retries_exhausted += 1;
+            return;
+        }
+        self.results.re_attached += 1;
+        self.start_procedure(ue, ProcedureKind::ReAttach, report_kind, started, budget, out);
     }
 
     fn on_retry_timer(&mut self, ue: UeId, out: &mut Outbox<SimMsg>) {
         let now = out.now();
+        // A UE honoring a `Reject` does nothing until its deferral ends;
+        // then it re-offers the shed procedure start (already charged to
+        // the budget when the Reject arrived).
+        if let Some(t) = self.active.get(&ue).and_then(|a| a.deferred_until) {
+            if now < t {
+                out.set_timer(t.saturating_since(now), ue.raw());
+                return;
+            }
+            {
+                let a = self.active.get_mut(&ue).expect("checked");
+                a.deferred_until = None;
+                a.last_progress = now;
+            }
+            let resend = self.active.get(&ue).and_then(|a| a.last_uplink.clone());
+            if let Some(env) = resend {
+                self.results.retransmissions += 1;
+                let (_, cta) = self.route(ue);
+                out.send(cta_node(cta), SimMsg::Sys(SysMsg::Control(env)));
+            }
+            out.set_timer(self.config.retry_timeout, ue.raw());
+            return;
+        }
         let stalled = match self.active.get(&ue) {
             Some(a) => now.saturating_since(a.last_progress) >= self.config.retry_timeout,
             None => return,
@@ -433,7 +516,10 @@ impl UePopulation {
             self.on_ask_re_attach(ue, out);
             return;
         }
-        // Retransmit the last uplink.
+        // Retransmit the last uplink — one budget charge per resend.
+        if self.charge_budget(ue) {
+            return;
+        }
         let resend = self.active.get(&ue).and_then(|a| a.last_uplink.clone());
         if let Some(env) = resend {
             self.results.retransmissions += 1;
@@ -441,6 +527,44 @@ impl UePopulation {
             out.send(cta_node(cta), SimMsg::Sys(SysMsg::Control(env)));
         }
         out.set_timer(self.config.retry_timeout, ue.raw());
+    }
+
+    /// The CTA's admission gate shed this UE's procedure start. Honor the
+    /// `retry_after_ms` hint plus deterministic jittered exponential
+    /// backoff, then re-offer — unless the retry budget is spent.
+    fn on_reject(&mut self, ue: UeId, retry_after_ms: u64, out: &mut Outbox<SimMsg>) {
+        let now = out.now();
+        if !self.active.contains_key(&ue) {
+            return; // stale reject for an abandoned procedure
+        }
+        self.results.rejected += 1;
+        if self.charge_budget(ue) {
+            return;
+        }
+        let a = self.active.get_mut(&ue).expect("checked");
+        // Exponential term: base << attempt, capped. With the default
+        // ZERO base only the jitter window remains.
+        let expo_ns = self
+            .config
+            .backoff_base
+            .as_nanos()
+            .checked_shl(a.budget_used.min(16))
+            .unwrap_or(u64::MAX)
+            .min(self.config.backoff_cap.as_nanos());
+        // Stateless splitmix64 jitter keyed on (ue, attempt): no shared RNG
+        // state, so the draw is identical under any worker interleaving.
+        let jitter_window = (expo_ns / 2).max(1_000_000); // ≥ 1ms to break sync
+        let jitter_ns = splitmix64(
+            ue.raw()
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(u64::from(a.budget_used)),
+        ) % jitter_window;
+        let wait = Duration::from_millis(retry_after_ms)
+            + Duration::from_nanos(expo_ns / 2 + jitter_ns);
+        a.deferred_until = Some(now + wait);
+        a.last_progress = now;
+        a.retries = 0;
+        out.set_timer(wait, ue.raw());
     }
 
     fn pump_arrivals(&mut self, out: &mut Outbox<SimMsg>) {
@@ -463,7 +587,7 @@ impl UePopulation {
                 self.results.skipped_busy += 1;
                 continue;
             }
-            self.start_procedure(arrival.ue, arrival.kind, arrival.kind, arrival.at, out);
+            self.start_procedure(arrival.ue, arrival.kind, arrival.kind, arrival.at, 0, out);
         }
     }
 }
@@ -479,6 +603,7 @@ impl Node<SimMsg> for UePopulation {
                     .unwrap_or(Duration::from_nanos(500))
             }
             SimMsg::Sys(SysMsg::AskReAttach { .. }) => Duration::from_nanos(500),
+            SimMsg::Sys(SysMsg::Reject { .. }) => Duration::from_nanos(500),
             _ => Duration::ZERO,
         }
     }
@@ -493,6 +618,9 @@ impl Node<SimMsg> for UePopulation {
                 }
                 SimMsg::Sys(SysMsg::AskReAttach { ue }) => {
                     self.on_ask_re_attach(ue, out);
+                }
+                SimMsg::Sys(SysMsg::Reject { ue, retry_after_ms, .. }) => {
+                    self.on_reject(ue, retry_after_ms, out);
                 }
                 _ => {}
             },

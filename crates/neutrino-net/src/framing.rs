@@ -15,8 +15,8 @@ use neutrino_messages::control::{ControlMessage, Direction, Envelope, MessageKin
 use neutrino_messages::procedures::ProcedureKind;
 use neutrino_messages::state::UeState;
 use neutrino_messages::sysmsg::{
-    MarkOutdated, Replay, S11Request, S11Response, SessionOp, StateSync, SyncAck, SyncPurpose,
-    SysMsg,
+    AdmissionClass, MarkOutdated, Replay, S11Request, S11Response, SessionOp, StateSync, SyncAck,
+    SyncPurpose, SysMsg,
 };
 use neutrino_messages::Wire;
 
@@ -37,6 +37,7 @@ const TAG_DOWNLINK_DATA: u8 = 14;
 const TAG_DDN: u8 = 15;
 const TAG_RESYNC_REQUEST: u8 = 16;
 const TAG_RESYNC_BEHIND: u8 = 17;
+const TAG_REJECT: u8 = 18;
 
 fn err(detail: impl Into<String>) -> Error {
     Error::codec("framing", detail.into())
@@ -291,6 +292,16 @@ pub fn encode_sysmsg(msg: &SysMsg, codec_kind: CodecKind) -> Result<Vec<u8>> {
             buf.put_u64(have.raw());
             buf.put_u64(cpf.raw());
         }
+        SysMsg::Reject {
+            ue,
+            class,
+            retry_after_ms,
+        } => {
+            buf.put_u8(TAG_REJECT);
+            buf.put_u64(ue.raw());
+            buf.put_u8(class.raw());
+            buf.put_u64(*retry_after_ms);
+        }
     }
     Ok(buf.to_vec())
 }
@@ -507,6 +518,18 @@ pub fn decode_sysmsg(frame: &[u8], codec_kind: CodecKind) -> Result<SysMsg> {
                 cpf: CpfId::new(buf.get_u64()),
             }
         }
+        TAG_REJECT => {
+            need(&buf, 17)?;
+            let ue = UeId::new(buf.get_u64());
+            let raw = buf.get_u8();
+            let class = AdmissionClass::from_raw(raw)
+                .ok_or_else(|| err(format!("bad admission class {raw}")))?;
+            SysMsg::Reject {
+                ue,
+                class,
+                retry_after_ms: buf.get_u64(),
+            }
+        }
         other => return Err(err(format!("unknown frame tag {other}"))),
     };
     Ok(msg)
@@ -668,6 +691,31 @@ mod tests {
             },
             CodecKind::Asn1Per,
         );
+        for class in AdmissionClass::ALL {
+            round_trip(
+                SysMsg::Reject {
+                    ue: UeId::new(4),
+                    class: *class,
+                    retry_after_ms: 250,
+                },
+                CodecKind::Asn1Per,
+            );
+        }
+    }
+
+    #[test]
+    fn reject_with_bad_class_errors() {
+        let mut frame = encode_sysmsg(
+            &SysMsg::Reject {
+                ue: UeId::new(4),
+                class: AdmissionClass::Attach,
+                retry_after_ms: 100,
+            },
+            CodecKind::FastbufOptimized,
+        )
+        .unwrap();
+        frame[9] = 200;
+        assert!(decode_sysmsg(&frame, CodecKind::FastbufOptimized).is_err());
     }
 
     #[test]

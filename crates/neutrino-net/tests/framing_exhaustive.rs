@@ -13,15 +13,15 @@ use neutrino_messages::control::{Envelope, MessageKind};
 use neutrino_messages::procedures::ProcedureKind;
 use neutrino_messages::state::UeState;
 use neutrino_messages::sysmsg::{
-    MarkOutdated, Replay, S11Request, S11Response, SessionOp, StateSync, SyncAck, SyncPurpose,
-    SysMsg,
+    AdmissionClass, MarkOutdated, Replay, S11Request, S11Response, SessionOp, StateSync, SyncAck,
+    SyncPurpose, SysMsg,
 };
 use neutrino_messages::Wire;
 use neutrino_net::{decode_sysmsg, encode_sysmsg};
 use neutrino_codec::CodecKind;
 
 /// Number of `SysMsg` variants the samples below must cover.
-const VARIANT_COUNT: usize = 17;
+const VARIANT_COUNT: usize = 18;
 
 /// Maps each variant to a dense index. Exhaustive **by construction**: no
 /// wildcard arm, so a new variant fails to compile here until a sample (and
@@ -45,6 +45,7 @@ fn variant_index(msg: &SysMsg) -> usize {
         SysMsg::CpfFailure { .. } => 14,
         SysMsg::ResyncRequest { .. } => 15,
         SysMsg::ResyncBehind { .. } => 16,
+        SysMsg::Reject { .. } => 17,
     }
 }
 
@@ -110,6 +111,7 @@ fn samples() -> Vec<SysMsg> {
         SysMsg::CpfFailure { cpf: CpfId::new(3) },
         SysMsg::ResyncRequest { ue: UeId::new(4), procedure: ProcedureId::new(7), cta: CtaId::new(1) },
         SysMsg::ResyncBehind { ue: UeId::new(4), have: ProcedureId::new(2), cpf: CpfId::new(3) },
+        SysMsg::Reject { ue: UeId::new(4), class: AdmissionClass::Attach, retry_after_ms: 250 },
     ]
 }
 

@@ -25,5 +25,8 @@ pub mod patterns;
 pub mod traces;
 
 pub use mobility::{DriveModel, DriveParams};
-pub use patterns::{bursty_attach, uniform, uniform_with_pool, BurstParams, UniformParams};
+pub use patterns::{
+    bursty_attach, flash_crowd_reattach, iot_burst_storm, uniform, uniform_with_pool, BurstParams,
+    FlashCrowdParams, FlashCrowdSchedule, IotStormParams, UniformParams,
+};
 pub use traces::{Trace, TraceGenerator, TraceParams, TraceRecord};
