@@ -1,0 +1,74 @@
+//! Scheduler microbench: the calendar-queue wheel against the binary-heap
+//! reference, on the same deterministic pseudo-random schedule.
+//!
+//! This isolates the PR-level claim behind the engine speedup: pushing and
+//! popping `(at, seq)` keys through `Wheel` must beat `ReferenceHeap` on
+//! engine-like workloads (a bounded pending set, mostly near-future delays,
+//! a tail of far-future timers). Both structures dispatch in the identical
+//! order, so the comparison is purely about data-structure cost. The drive
+//! loops live in `neutrino_bench::schedbench`, shared with the
+//! `engine_wheel` key that `repro --bench-out` emits.
+//!
+//! Run with `cargo bench -p neutrino-bench --bench wheel`. Set
+//! `NEUTRINO_BENCH_QUICK=1` (the CI smoke job does) to shrink the workload.
+//! Build with `--features count-allocs` to also report allocations per
+//! scheduler operation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use neutrino_bench::schedbench::{drive_heap, drive_wheel};
+use neutrino_netsim::alloc_count;
+
+fn quick() -> bool {
+    std::env::var("NEUTRINO_BENCH_QUICK").is_ok_and(|v| v == "1")
+}
+
+fn wheel_vs_heap(c: &mut Criterion) {
+    let total: u64 = if quick() { 200_000 } else { 2_000_000 };
+    let mut group = c.benchmark_group("sched");
+    group.sample_size(10);
+    for &pending in &[64u64, 4096] {
+        // Identical dispatch order is the wheel's contract; assert it here
+        // so the two timed loops are provably doing the same work.
+        assert_eq!(
+            drive_wheel(total.min(100_000), pending),
+            drive_heap(total.min(100_000), pending),
+            "wheel and heap must dispatch identically"
+        );
+        group.bench_function(BenchmarkId::new("wheel", pending), |b| {
+            b.iter(|| drive_wheel(total, pending))
+        });
+        group.bench_function(BenchmarkId::new("heap", pending), |b| {
+            b.iter(|| drive_heap(total, pending))
+        });
+    }
+    group.finish();
+
+    // Absolute rates + allocation counts once, outside the timing loops.
+    for &pending in &[64u64, 4096] {
+        let a0 = alloc_count::current();
+        let start = std::time::Instant::now();
+        let s1 = drive_wheel(total, pending);
+        let wheel_secs = start.elapsed().as_secs_f64();
+        let wheel_allocs = alloc_count::current() - a0;
+
+        let a0 = alloc_count::current();
+        let start = std::time::Instant::now();
+        let s2 = drive_heap(total, pending);
+        let heap_secs = start.elapsed().as_secs_f64();
+        let heap_allocs = alloc_count::current() - a0;
+
+        assert_eq!(s1, s2);
+        eprintln!(
+            "sched pending={pending}: wheel {:.1}M ops/s ({:.4} allocs/op), \
+             heap {:.1}M ops/s ({:.4} allocs/op), speedup {:.2}x",
+            total as f64 / wheel_secs / 1e6,
+            wheel_allocs as f64 / total as f64,
+            total as f64 / heap_secs / 1e6,
+            heap_allocs as f64 / total as f64,
+            heap_secs / wheel_secs,
+        );
+    }
+}
+
+criterion_group!(benches, wheel_vs_heap);
+criterion_main!(benches);

@@ -23,7 +23,8 @@ use neutrino_bench::figures::{
     ablation, appsfig, burst, failure, handover, logsize, overload, pct, serialization,
 };
 use neutrino_bench::figures::{PctPoint, Profile};
-use neutrino_bench::{render, sweep};
+use neutrino_bench::{render, schedbench, sweep};
+use neutrino_netsim::alloc_count;
 use serde::Serialize;
 use std::collections::BTreeMap;
 
@@ -94,6 +95,7 @@ fn main() {
     let mut json: BTreeMap<String, serde_json::Value> = BTreeMap::new();
     let mut bench: BTreeMap<String, FigBench> = BTreeMap::new();
     let run_started = std::time::Instant::now();
+    let allocs_at_start = alloc_count::current();
     for fig in &figs {
         let started = std::time::Instant::now();
         let _ = sweep::take_cell_perf();
@@ -203,7 +205,14 @@ fn main() {
         eprintln!("wrote {path}");
     }
     if let Some(path) = bench_path {
-        write_bench(&path, &bench, json.get("overload"), run_started.elapsed(), quick);
+        write_bench(
+            &path,
+            &bench,
+            json.get("overload"),
+            run_started.elapsed(),
+            quick,
+            alloc_count::current() - allocs_at_start,
+        );
     }
 }
 
@@ -214,6 +223,7 @@ fn write_bench(
     overload: Option<&serde_json::Value>,
     total_wall: std::time::Duration,
     quick: bool,
+    allocs: u64,
 ) {
     let events_processed: u64 = bench.values().map(|f| f.events_processed).sum();
     let sim_wall_s: f64 = bench.values().map(|f| f.sim_wall_s).sum();
@@ -250,8 +260,41 @@ fn write_bench(
             .expect("ser"),
         ),
         ("totals".to_string(), serde_json::to_value(&totals).expect("ser")),
+        (
+            // Process-wide heap allocations per engine event across the
+            // whole run. Nonzero only under `--features count-allocs`
+            // (the counting global allocator); 0.0 otherwise.
+            "allocs_per_event".to_string(),
+            serde_json::to_value(&if events_processed > 0 {
+                allocs as f64 / events_processed as f64
+            } else {
+                0.0
+            })
+            .expect("ser"),
+        ),
         ("figures".to_string(), serde_json::to_value(bench).expect("ser")),
     ];
+    // Scheduler microbench: the calendar-queue wheel vs. the binary-heap
+    // reference on the shared engine-like workload (same drivers as
+    // `cargo bench --bench wheel`), at a small and a large pending set.
+    let sched_ops: u64 = if quick { 200_000 } else { 2_000_000 };
+    let engine_wheel: Vec<schedbench::SchedBenchPoint> = [64u64, 4096]
+        .iter()
+        .map(|&pending| schedbench::measure(sched_ops, pending))
+        .collect();
+    for p in &engine_wheel {
+        eprintln!(
+            "[engine_wheel pending={}: wheel {:.1}M ops/s, heap {:.1}M ops/s, speedup {:.2}x]",
+            p.pending,
+            p.wheel_ops_per_sec / 1e6,
+            p.heap_ops_per_sec / 1e6,
+            p.speedup
+        );
+    }
+    report.push((
+        "engine_wheel".to_string(),
+        serde_json::to_value(&engine_wheel).expect("ser"),
+    ));
     // Overload throughput/latency percentiles (admitted vs offered, p50/p99
     // by class) ride along whenever the `overload` figure ran.
     if let Some(points) = overload {

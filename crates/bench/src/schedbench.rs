@@ -1,0 +1,131 @@
+//! Scheduler microbench core: calendar-queue wheel vs. binary-heap
+//! reference on a shared deterministic workload.
+//!
+//! Both the `wheel` criterion bench and `repro --bench-out` (the
+//! `engine_wheel` key in BENCH_netsim.json) run these drivers, so the
+//! numbers they report come from the identical push/pop schedule.
+
+use neutrino_common::time::Instant;
+use neutrino_netsim::{ReferenceHeap, SchedKey, Wheel};
+use serde::Serialize;
+
+/// One measured wheel-vs-heap comparison (`engine_wheel` entries in
+/// BENCH_netsim.json).
+#[derive(Debug, Serialize)]
+pub struct SchedBenchPoint {
+    /// Keys resident in the scheduler throughout the run.
+    pub pending: u64,
+    /// Push+pop pairs timed.
+    pub ops: u64,
+    /// Wheel throughput in push+pop operations per second.
+    pub wheel_ops_per_sec: f64,
+    /// Binary-heap reference throughput in push+pop operations per second.
+    pub heap_ops_per_sec: f64,
+    /// `wheel_ops_per_sec / heap_ops_per_sec`.
+    pub speedup: f64,
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// An engine-like delay mix, matching what the figure workloads schedule:
+/// mostly sub-millisecond hops, some ACK/paging timers in the tens-of-ms
+/// band, a few zero-delay self-sends, and a 1% tail of seconds-scale
+/// timers (log-pruning scans). Correctness for pathological far-future
+/// delays is covered by the order-equivalence proptest, not timed here.
+fn next_delay(rng: &mut u64) -> u64 {
+    match splitmix64(rng) % 100 {
+        0..=4 => 0,                                       // same-instant self-send
+        5..=91 => splitmix64(rng) % 2_000_000,            // < 2 ms hop
+        92..=98 => splitmix64(rng) % 200_000_000,         // < 200 ms timer
+        _ => 1_000_000_000 + splitmix64(rng) % (1 << 39), // seconds-scale timer
+    }
+}
+
+/// Drives `total` push+pop pairs with `pending` keys resident, like the
+/// engine does: every pop schedules a successor. Returns a checksum so
+/// the work cannot be optimized away.
+pub fn drive_wheel(total: u64, pending: u64) -> u64 {
+    let mut w: Wheel<u64> = Wheel::new();
+    let mut rng = 0x5EED_u64;
+    let mut seq = 0u64;
+    for _ in 0..pending {
+        let at = Instant::from_nanos(next_delay(&mut rng));
+        w.push(SchedKey { at, seq }, seq);
+        seq += 1;
+    }
+    let mut sum = 0u64;
+    for _ in 0..total {
+        let (key, v) = w.pop().expect("pending keys resident");
+        sum = sum.wrapping_add(key.at.as_nanos()).wrapping_add(v);
+        let at = Instant::from_nanos(key.at.as_nanos() + next_delay(&mut rng));
+        w.push(SchedKey { at, seq }, seq);
+        seq += 1;
+    }
+    sum
+}
+
+/// The same workload through the binary-heap reference implementation.
+pub fn drive_heap(total: u64, pending: u64) -> u64 {
+    let mut h: ReferenceHeap<u64> = ReferenceHeap::new();
+    let mut rng = 0x5EED_u64;
+    let mut seq = 0u64;
+    for _ in 0..pending {
+        let at = Instant::from_nanos(next_delay(&mut rng));
+        h.push(SchedKey { at, seq }, seq);
+        seq += 1;
+    }
+    let mut sum = 0u64;
+    for _ in 0..total {
+        let (key, v) = h.pop().expect("pending keys resident");
+        sum = sum.wrapping_add(key.at.as_nanos()).wrapping_add(v);
+        let at = Instant::from_nanos(key.at.as_nanos() + next_delay(&mut rng));
+        h.push(SchedKey { at, seq }, seq);
+        seq += 1;
+    }
+    sum
+}
+
+/// Times wheel-vs-heap at `pending` resident keys over `total` push+pop
+/// pairs. Asserts the two dispatch identically (the wheel's contract)
+/// before timing, so the comparison is purely data-structure cost.
+pub fn measure(total: u64, pending: u64) -> SchedBenchPoint {
+    assert_eq!(
+        drive_wheel(total.min(100_000), pending),
+        drive_heap(total.min(100_000), pending),
+        "wheel and heap must dispatch identically"
+    );
+    let start = std::time::Instant::now();
+    let s1 = drive_wheel(total, pending);
+    let wheel_secs = start.elapsed().as_secs_f64();
+    let start = std::time::Instant::now();
+    let s2 = drive_heap(total, pending);
+    let heap_secs = start.elapsed().as_secs_f64();
+    assert_eq!(s1, s2, "wheel and heap must dispatch identically");
+    let wheel_ops_per_sec = total as f64 / wheel_secs;
+    let heap_ops_per_sec = total as f64 / heap_secs;
+    SchedBenchPoint {
+        pending,
+        ops: total,
+        wheel_ops_per_sec,
+        heap_ops_per_sec,
+        speedup: heap_secs / wheel_secs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wheel_and_heap_checksums_agree() {
+        for pending in [1, 64, 4096] {
+            assert_eq!(drive_wheel(20_000, pending), drive_heap(20_000, pending));
+        }
+    }
+}

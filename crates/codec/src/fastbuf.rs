@@ -157,6 +157,14 @@ struct Builder {
     vec_offsets: Vec<u32>,
 }
 
+thread_local! {
+    /// Encoder scratch recycled across messages: the slot stack and vector
+    /// offset stack reach steady-state capacity after the first few encodes
+    /// and never allocate again on the hot path.
+    static SCRATCH: std::cell::Cell<(Vec<PendingKind>, Vec<u32>)> =
+        const { std::cell::Cell::new((Vec::new(), Vec::new())) };
+}
+
 /// What one vtable slot of a table under construction will hold.
 #[derive(Clone, Copy)]
 enum PendingKind {
@@ -1014,18 +1022,35 @@ impl WireFormat for Fastbuf {
 
     fn encode(&self, schema: &Schema, value: &Value, out: &mut Vec<u8>) -> Result<()> {
         out.clear();
+        let (slots, vec_offsets) = SCRATCH.with(std::cell::Cell::take);
         let mut b = Builder {
             buf: std::mem::take(out),
             svtable: self.svtable,
-            slots: Vec::with_capacity(32),
-            vec_offsets: Vec::with_capacity(8),
+            slots,
+            vec_offsets,
         };
         b.buf.reserve(256);
         b.put_u32(0); // root placeholder
-        let root = b.write_table(schema, value)?;
-        b.patch_u32(0, root as u32);
-        *out = b.buf;
-        Ok(())
+        let root = b.write_table(schema, value);
+        if let Ok(root) = root {
+            b.patch_u32(0, root as u32);
+        }
+        let Builder {
+            buf,
+            mut slots,
+            mut vec_offsets,
+            ..
+        } = b;
+        *out = buf;
+        // Frame discipline leaves both scratches empty on success; clear
+        // defensively on error so pooled capacity never carries stale state.
+        slots.clear();
+        vec_offsets.clear();
+        SCRATCH.with(|s| s.set((slots, vec_offsets)));
+        if root.is_err() {
+            out.clear();
+        }
+        root.map(|_| ())
     }
 
     fn decode(&self, schema: &Schema, bytes: &[u8]) -> Result<Value> {

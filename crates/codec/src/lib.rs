@@ -45,6 +45,7 @@ pub mod flexlike;
 pub mod lcmlike;
 pub mod per;
 pub mod protolike;
+pub mod scratch;
 pub mod value;
 
 use neutrino_common::Result;

@@ -12,9 +12,10 @@
 
 use crate::links::{Delivery, Links};
 use crate::stats::{NodeStats, SimStats};
+use crate::wheel::{SchedKey, Wheel};
 use neutrino_common::time::{Duration, Instant};
 use std::any::Any;
-use std::collections::{BinaryHeap, VecDeque};
+use std::collections::VecDeque;
 use std::fmt;
 
 /// Identifies a node inside a simulation.
@@ -151,33 +152,6 @@ enum EventKind<M> {
     Recover { node: NodeId },
 }
 
-struct Event<M> {
-    at: Instant,
-    seq: u64,
-    kind: EventKind<M>,
-}
-
-impl<M> PartialEq for Event<M> {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl<M> Eq for Event<M> {}
-impl<M> PartialOrd for Event<M> {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<M> Ord for Event<M> {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        // BinaryHeap is a max-heap; invert for earliest-first.
-        other
-            .at
-            .cmp(&self.at)
-            .then_with(|| other.seq.cmp(&self.seq))
-    }
-}
-
 struct NodeEntry<M> {
     id: NodeId,
     node: Box<dyn Node<M>>,
@@ -240,7 +214,9 @@ pub struct Sim<M> {
     seq: u64,
     job_seq: u64,
     link_seq: u64,
-    queue: BinaryHeap<Event<M>>,
+    /// The calendar-queue scheduler; dispatch order is ascending
+    /// [`SchedKey`] — see [`crate::wheel`] for the ordering definition.
+    queue: Wheel<EventKind<M>>,
     /// Dense node slab; slots are assigned in `add_node` order.
     nodes: Vec<NodeEntry<M>>,
     /// Sparse raw-id → slot map (`NO_SLOT` = absent). Node ids are banded,
@@ -251,6 +227,9 @@ pub struct Sim<M> {
     events_processed: u64,
     /// Host time spent inside `run_until`, for events/sec reporting.
     wall: std::time::Duration,
+    /// Heap allocations observed across `run_until` calls (zero unless a
+    /// counting allocator reports into [`crate::alloc_count`]).
+    allocs: u64,
     /// Fault-layer and routing counters (see [`SimStats`]).
     dropped_loss: u64,
     dropped_partition: u64,
@@ -275,13 +254,14 @@ impl<M: Clone + 'static> Sim<M> {
             seq: 0,
             job_seq: 0,
             link_seq: 0,
-            queue: BinaryHeap::new(),
+            queue: Wheel::new(),
             nodes: Vec::new(),
             slots: Vec::new(),
             links,
             config,
             events_processed: 0,
             wall: std::time::Duration::ZERO,
+            allocs: 0,
             dropped_loss: 0,
             dropped_partition: 0,
             duplicated: 0,
@@ -317,6 +297,8 @@ impl<M: Clone + 'static> Sim<M> {
                 .map(|n| n.stats.max_queue_depth)
                 .max()
                 .unwrap_or(0),
+            max_sched_depth: self.queue.max_depth() as u64,
+            allocs: self.allocs,
         }
     }
 
@@ -367,7 +349,7 @@ impl<M: Clone + 'static> Sim<M> {
     fn push(&mut self, at: Instant, kind: EventKind<M>) {
         let seq = self.seq;
         self.seq += 1;
-        self.queue.push(Event { at, seq, kind });
+        self.queue.push(SchedKey { at, seq }, kind);
     }
 
     /// Injects a message from outside the simulated network, arriving at
@@ -511,22 +493,43 @@ impl<M: Clone + 'static> Sim<M> {
 
     /// Runs until the event queue drains or `deadline` passes. Returns the
     /// time of the last processed event.
+    ///
+    /// The runaway-loop event budget is enforced at dispatch-slice
+    /// boundaries rather than per event; slices are truncated so the check
+    /// trips at exactly the event the per-event check would have caught
+    /// (same panic, same reported virtual time).
     pub fn run_until(&mut self, deadline: Instant) -> Instant {
+        /// Events dispatched between budget checks.
+        const SLICE: u64 = 1024;
+        // The engine's only wall-clock read: one start sample per call (plus
+        // `.elapsed()` at the exits), batched across the whole dispatch run —
+        // observability-only, never feeds simulated state.
         // lint-allow(wall-clock): observability-only events/sec wall timer; never feeds simulated state
         let wall_start = std::time::Instant::now();
-        while let Some(ev) = self.queue.peek() {
-            if ev.at > deadline {
+        let alloc_start = crate::alloc_count::current();
+        let mut slice_left = 0u64;
+        loop {
+            if slice_left == 0 {
+                if self.events_processed > self.config.max_events {
+                    self.wall += wall_start.elapsed();
+                    self.panic_event_budget(self.now);
+                }
+                // Truncate so the next boundary lands exactly on the first
+                // event past the budget.
+                slice_left = SLICE.min(self.config.max_events - self.events_processed + 1);
+            }
+            let Some(key) = self.queue.peek_key() else {
+                break;
+            };
+            if key.at > deadline {
                 break;
             }
-            let ev = self.queue.pop().expect("peeked");
+            let (key, kind) = self.queue.pop().expect("peeked");
             self.events_processed += 1;
-            if self.events_processed > self.config.max_events {
-                self.wall += wall_start.elapsed();
-                self.panic_event_budget(ev.at);
-            }
-            debug_assert!(ev.at >= self.now, "time went backwards");
-            self.now = ev.at;
-            match ev.kind {
+            slice_left -= 1;
+            debug_assert!(key.at >= self.now, "time went backwards");
+            self.now = key.at;
+            match kind {
                 EventKind::Deliver { to, from, msg } => {
                     let slot = match self.slot(to) {
                         Some(s) => s,
@@ -606,6 +609,7 @@ impl<M: Clone + 'static> Sim<M> {
             }
         }
         self.wall += wall_start.elapsed();
+        self.allocs += crate::alloc_count::current().wrapping_sub(alloc_start);
         self.now
     }
 
@@ -621,7 +625,7 @@ impl<M: Clone + 'static> Sim<M> {
     /// cluster state cannot change, so a skipped pause would have observed
     /// exactly what the previous one did.
     pub fn next_event_at(&self) -> Option<Instant> {
-        self.queue.peek().map(|e| e.at)
+        self.queue.min_key().map(|k| k.at)
     }
 }
 
@@ -984,6 +988,42 @@ mod tests {
             sim.inject_at(Instant::ZERO, b, i);
         }
         sim.run_to_completion();
+    }
+
+    /// The budget check runs once per dispatch slice, but slices are
+    /// truncated so it still trips at exactly the event the old per-event
+    /// check caught: events_processed stops at `max_events + 1`, never
+    /// rounded up to a slice boundary. Uses a budget that is neither a
+    /// multiple of the slice size nor smaller than one slice.
+    #[test]
+    fn budget_trips_at_exactly_the_per_event_boundary() {
+        let links = Links::with_default(LinkSpec::fixed(Duration::ZERO));
+        let max_events = 1500u64;
+        let mut sim = Sim::with_config(links, SimConfig { max_events });
+        let b = NodeId::new(2);
+        sim.add_node(
+            b,
+            Box::new(Echo {
+                service: Duration::from_micros(1),
+                seen: Vec::new(),
+            }),
+        );
+        for i in 0..2_000u64 {
+            sim.inject_at(Instant::from_micros(i), b, i);
+        }
+        let panicked = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            sim.run_to_completion();
+        }));
+        let msg = panicked
+            .expect_err("budget must trip")
+            .downcast::<String>()
+            .expect("panic payload is a formatted string");
+        assert!(msg.contains("event budget of 1500 exhausted"), "{msg}");
+        assert_eq!(
+            sim.events_processed(),
+            max_events + 1,
+            "slice truncation must stop at the first over-budget event"
+        );
     }
 
     #[test]

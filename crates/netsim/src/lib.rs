@@ -27,10 +27,13 @@
 #![deny(unreachable_pub)]
 #![warn(missing_docs)]
 
+pub mod alloc_count;
 pub mod engine;
 pub mod links;
 pub mod stats;
+pub mod wheel;
 
 pub use engine::{Node, NodeEvent, NodeId, Outbox, Sim, SimConfig};
 pub use links::{Delivery, FaultSpec, LinkSpec, Links};
 pub use stats::{NodeStats, SimStats};
+pub use wheel::{ReferenceHeap, SchedKey, Wheel};

@@ -91,6 +91,50 @@ pub enum Delivery {
     Partitioned,
 }
 
+/// Deterministic multiply-rotate hasher (FxHash-style) for the override
+/// maps: `(NodeId, NodeId)` lookups sit on the per-send hot path, where
+/// SipHash's per-lookup setup cost dominates. Not DoS-resistant — keys
+/// are simulation node ids, not attacker-controlled input — and fully
+/// deterministic across runs and platforms (no ambient seeding).
+#[derive(Debug, Clone, Copy, Default)]
+struct FxBuildHasher;
+
+#[derive(Default)]
+struct FxHasher(u64);
+
+const FX_KEY: u64 = 0x517c_c1b7_2722_0a95;
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, v: u64) {
+        self.0 = (self.0.rotate_left(5) ^ v).wrapping_mul(FX_KEY);
+    }
+}
+
+impl std::hash::Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.add(b as u64);
+        }
+    }
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add(v);
+    }
+}
+
+impl std::hash::BuildHasher for FxBuildHasher {
+    type Hasher = FxHasher;
+    #[inline]
+    fn build_hasher(&self) -> FxHasher {
+        FxHasher(0)
+    }
+}
+
 // Per-draw-type salts keep the loss/dup/reorder streams independent of
 // each other and of the jitter stream (salt 0).
 const SALT_LOSS: u64 = 0xA24B_AED4_963E_E407;
@@ -104,12 +148,12 @@ const SALT_DUP_DELAY: u64 = 0x1D8E_4E27_C47D_124F;
 pub struct Links {
     default: LinkSpec,
     // Directed overrides; lookups fall back to the default.
-    overrides: HashMap<(NodeId, NodeId), LinkSpec>,
+    overrides: HashMap<(NodeId, NodeId), LinkSpec, FxBuildHasher>,
     // Mixed into the jitter hash; seed 0 reproduces the unseeded stream.
     seed: u64,
     // Fault layer: default spec, directed overrides, partition windows.
     fault_default: FaultSpec,
-    fault_overrides: HashMap<(NodeId, NodeId), FaultSpec>,
+    fault_overrides: HashMap<(NodeId, NodeId), FaultSpec, FxBuildHasher>,
     partitions: Vec<Partition>,
 }
 
@@ -118,10 +162,10 @@ impl Links {
     pub fn with_default(default: LinkSpec) -> Self {
         Links {
             default,
-            overrides: HashMap::new(),
+            overrides: HashMap::default(),
             seed: 0,
             fault_default: FaultSpec::NONE,
-            fault_overrides: HashMap::new(),
+            fault_overrides: HashMap::default(),
             partitions: Vec::new(),
         }
     }
@@ -145,6 +189,11 @@ impl Links {
 
     /// The spec for a directed pair.
     pub fn get(&self, from: NodeId, to: NodeId) -> LinkSpec {
+        // Uniform topologies (single-region figures, the ring bench) keep
+        // the override map empty: skip the hash entirely.
+        if self.overrides.is_empty() {
+            return self.default;
+        }
         self.overrides
             .get(&(from, to))
             .copied()
@@ -176,6 +225,9 @@ impl Links {
 
     /// The fault spec for a directed pair.
     pub fn fault_for(&self, from: NodeId, to: NodeId) -> FaultSpec {
+        if self.fault_overrides.is_empty() {
+            return self.fault_default;
+        }
         self.fault_overrides
             .get(&(from, to))
             .copied()
@@ -242,6 +294,19 @@ impl Links {
         sequence: u64,
         now: Instant,
     ) -> Delivery {
+        // Fast path: no fault layer configured anywhere — the common case
+        // for throughput figures — costs one `is_empty`/`is_none` cascade
+        // and no hash lookups.
+        if self.fault_overrides.is_empty()
+            && self.partitions.is_empty()
+            && self.fault_default.is_none()
+        {
+            return Delivery::Deliver {
+                delay: self.sample_delay(from, to, sequence),
+                duplicate: None,
+                reordered: false,
+            };
+        }
         let delay = self.sample_delay(from, to, sequence);
         let fault = self.fault_for(from, to);
         if fault.is_none() && self.partitions.is_empty() {

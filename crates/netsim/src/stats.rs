@@ -68,6 +68,12 @@ pub struct SimStats {
     /// Largest per-node queue depth observed anywhere in the simulation —
     /// the quantity the overload-control `bounded-queue` invariant caps.
     pub max_queue_depth: usize,
+    /// Peak number of simultaneously scheduled events in the calendar
+    /// queue (scheduler pressure, distinct from per-node backlog above).
+    pub max_sched_depth: u64,
+    /// Heap allocations observed during `run_until`, when the bench
+    /// crate's `count-allocs` counting allocator is installed; 0 otherwise.
+    pub allocs: u64,
 }
 
 impl SimStats {
@@ -78,6 +84,15 @@ impl SimStats {
             0.0
         } else {
             self.events_processed as f64 / secs
+        }
+    }
+
+    /// Mean heap allocations per processed event (0 unless counting).
+    pub fn allocs_per_event(&self) -> f64 {
+        if self.events_processed == 0 {
+            0.0
+        } else {
+            self.allocs as f64 / self.events_processed as f64
         }
     }
 }

@@ -6,9 +6,14 @@
 //! regardless (replication is Neutrino-internal and not part of the ASN.1
 //! comparison surface). Length-prefixed throughout so frames survive
 //! stream transports.
+//!
+//! Encoding writes into a caller-supplied `Vec<u8>` so transports can
+//! recycle frame buffers ([`neutrino_codec::scratch`]); interior payload
+//! temporaries come from the same pool, keeping the steady-state encode
+//! path allocation-free.
 
-use bytes::{Buf, BufMut, BytesMut};
-use neutrino_codec::{CodecKind, WireFormat};
+use bytes::{Buf, BufMut};
+use neutrino_codec::{scratch, CodecKind, WireFormat};
 use neutrino_common::clock::ClockTick;
 use neutrino_common::{BsId, CpfId, CtaId, Error, ProcedureId, Result, SessionId, UeId, UpfId};
 use neutrino_messages::control::{ControlMessage, Direction, Envelope, MessageKind};
@@ -71,7 +76,7 @@ fn proc_kind_from_code(code: u8) -> Result<ProcedureKind> {
         .ok_or_else(|| err(format!("bad procedure kind code {code}")))
 }
 
-fn put_block(buf: &mut BytesMut, bytes: &[u8]) {
+fn put_block(buf: &mut Vec<u8>, bytes: &[u8]) {
     buf.put_u32(bytes.len() as u32);
     buf.put_slice(bytes);
 }
@@ -89,7 +94,7 @@ fn get_block<'a>(buf: &mut &'a [u8]) -> Result<&'a [u8]> {
     Ok(head)
 }
 
-fn put_envelope(env: &Envelope, codec: &dyn WireFormat, buf: &mut BytesMut) -> Result<()> {
+fn put_envelope(env: &Envelope, codec: &dyn WireFormat, buf: &mut Vec<u8>) -> Result<()> {
     buf.put_u64(env.ue.raw());
     buf.put_u64(env.procedure.raw());
     buf.put_u8(proc_kind_code(env.proc_kind));
@@ -108,10 +113,11 @@ fn put_envelope(env: &Envelope, codec: &dyn WireFormat, buf: &mut BytesMut) -> R
     });
     buf.put_u8(u8::from(env.end_of_procedure));
     buf.put_u16(kind_code(env.msg.kind()));
-    let mut payload = Vec::new();
-    env.msg.encode(codec, &mut payload)?;
-    put_block(buf, &payload);
-    Ok(())
+    scratch::with_buf(|payload| {
+        env.msg.encode(codec, payload)?;
+        put_block(buf, payload);
+        Ok(())
+    })
 }
 
 fn take_u64(buf: &mut &[u8]) -> Result<u64> {
@@ -162,13 +168,14 @@ fn get_envelope(buf: &mut &[u8], codec: &dyn WireFormat) -> Result<Envelope> {
     })
 }
 
-fn put_state(state: &UeState, buf: &mut BytesMut) -> Result<()> {
+fn put_state(state: &UeState, buf: &mut Vec<u8>) -> Result<()> {
     // State snapshots always travel as fastbuf: they are Neutrino-internal.
     let codec = neutrino_codec::fastbuf::Fastbuf::optimized();
-    let mut payload = Vec::new();
-    state.encode(&codec, &mut payload)?;
-    put_block(buf, &payload);
-    Ok(())
+    scratch::with_buf(|payload| {
+        state.encode(&codec, payload)?;
+        put_block(buf, payload);
+        Ok(())
+    })
 }
 
 fn get_state(buf: &mut &[u8]) -> Result<UeState> {
@@ -177,14 +184,18 @@ fn get_state(buf: &mut &[u8]) -> Result<UeState> {
     UeState::decode(&codec, payload)
 }
 
-/// Encodes a [`SysMsg`] into a self-contained frame.
-pub fn encode_sysmsg(msg: &SysMsg, codec_kind: CodecKind) -> Result<Vec<u8>> {
+/// Encodes a [`SysMsg`] as a self-contained frame into `buf`.
+///
+/// `buf` is cleared first so callers can recycle one buffer across frames
+/// (e.g. via [`scratch::with_buf`]); on error its contents are unspecified.
+pub fn encode_sysmsg(msg: &SysMsg, codec_kind: CodecKind, buf: &mut Vec<u8>) -> Result<()> {
     let codec = codec_kind.instance();
-    let mut buf = BytesMut::with_capacity(256);
+    buf.clear();
+    buf.reserve(64);
     match msg {
         SysMsg::Control(env) => {
             buf.put_u8(TAG_CONTROL);
-            put_envelope(env, codec.as_ref(), &mut buf)?;
+            put_envelope(env, codec.as_ref(), buf)?;
         }
         SysMsg::StateSync(s) => {
             buf.put_u8(TAG_STATE_SYNC);
@@ -197,7 +208,7 @@ pub fn encode_sysmsg(msg: &SysMsg, codec_kind: CodecKind) -> Result<Vec<u8>> {
                 SyncPurpose::Checkpoint => 0,
                 SyncPurpose::Migration => 1,
             });
-            put_state(&s.state, &mut buf)?;
+            put_state(&s.state, buf)?;
         }
         SysMsg::SyncAck(a) => {
             buf.put_u8(TAG_SYNC_ACK);
@@ -220,7 +231,7 @@ pub fn encode_sysmsg(msg: &SysMsg, codec_kind: CodecKind) -> Result<Vec<u8>> {
             buf.put_u64(r.ue.raw());
             buf.put_u32(r.messages.len() as u32);
             for env in &r.messages {
-                put_envelope(env, codec.as_ref(), &mut buf)?;
+                put_envelope(env, codec.as_ref(), buf)?;
             }
         }
         SysMsg::FetchState { ue, requester } => {
@@ -234,7 +245,7 @@ pub fn encode_sysmsg(msg: &SysMsg, codec_kind: CodecKind) -> Result<Vec<u8>> {
             match state {
                 Some(s) => {
                     buf.put_u8(1);
-                    put_state(s, &mut buf)?;
+                    put_state(s, buf)?;
                 }
                 None => buf.put_u8(0),
             }
@@ -244,14 +255,14 @@ pub fn encode_sysmsg(msg: &SysMsg, codec_kind: CodecKind) -> Result<Vec<u8>> {
             buf.put_u64(r.ue.raw());
             buf.put_u64(r.cpf.raw());
             buf.put_u8(session_op_code(r.op));
-            put_opt_u64(&mut buf, r.session.map(|s| s.raw()));
+            put_opt_u64(buf, r.session.map(|s| s.raw()));
         }
         SysMsg::S11Resp(r) => {
             buf.put_u8(TAG_S11_RESP);
             buf.put_u64(r.ue.raw());
             buf.put_u8(session_op_code(r.op));
             buf.put_u64(r.upf.raw());
-            put_opt_u64(&mut buf, r.session.map(|s| s.raw()));
+            put_opt_u64(buf, r.session.map(|s| s.raw()));
             buf.put_u8(u8::from(r.ok));
         }
         SysMsg::AskReAttach { ue } => {
@@ -303,7 +314,7 @@ pub fn encode_sysmsg(msg: &SysMsg, codec_kind: CodecKind) -> Result<Vec<u8>> {
             buf.put_u64(*retry_after_ms);
         }
     }
-    Ok(buf.to_vec())
+    Ok(())
 }
 
 fn session_op_code(op: SessionOp) -> u8 {
@@ -323,7 +334,7 @@ fn session_op_from(code: u8) -> Result<SessionOp> {
     })
 }
 
-fn put_opt_u64(buf: &mut BytesMut, v: Option<u64>) {
+fn put_opt_u64(buf: &mut Vec<u8>, v: Option<u64>) {
     match v {
         Some(x) => {
             buf.put_u8(1);
@@ -539,10 +550,21 @@ pub fn decode_sysmsg(frame: &[u8], codec_kind: CodecKind) -> Result<SysMsg> {
 mod tests {
     use super::*;
 
+    fn encode(msg: &SysMsg, codec: CodecKind) -> Result<Vec<u8>> {
+        let mut frame = Vec::new();
+        encode_sysmsg(msg, codec, &mut frame)?;
+        Ok(frame)
+    }
+
     fn round_trip(msg: SysMsg, codec: CodecKind) {
-        let frame = encode_sysmsg(&msg, codec).unwrap();
+        let frame = encode(&msg, codec).unwrap();
         let back = decode_sysmsg(&frame, codec).unwrap();
         assert_eq!(back, msg, "codec {codec}");
+
+        // A recycled dirty buffer must produce the identical frame.
+        let mut reused = vec![0xFF; 32];
+        encode_sysmsg(&msg, codec, &mut reused).unwrap();
+        assert_eq!(reused, frame, "recycled buffer must be cleared first");
     }
 
     fn sample_envelope() -> Envelope {
@@ -705,7 +727,7 @@ mod tests {
 
     #[test]
     fn reject_with_bad_class_errors() {
-        let mut frame = encode_sysmsg(
+        let mut frame = encode(
             &SysMsg::Reject {
                 ue: UeId::new(4),
                 class: AdmissionClass::Attach,
@@ -720,7 +742,7 @@ mod tests {
 
     #[test]
     fn truncated_frames_error_cleanly() {
-        let frame = encode_sysmsg(
+        let frame = encode(
             &SysMsg::Control(sample_envelope()),
             CodecKind::FastbufOptimized,
         )
@@ -735,7 +757,7 @@ mod tests {
 
     #[test]
     fn codec_mismatch_is_detected_or_rejected() {
-        let frame = encode_sysmsg(
+        let frame = encode(
             &SysMsg::Control(sample_envelope()),
             CodecKind::FastbufOptimized,
         )

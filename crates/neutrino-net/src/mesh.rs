@@ -78,8 +78,11 @@ impl Router {
             None => return, // destination gone (shutdown)
         };
         let payload = if self.config.serialize_on_wire {
-            match encode_sysmsg(msg, self.config.codec) {
-                Ok(frame) => MeshMsg::Sys(frame),
+            // The frame crosses a channel, so it must be owned — but one
+            // Vec instead of the old BytesMut-then-copy pair.
+            let mut frame = Vec::new();
+            match encode_sysmsg(msg, self.config.codec, &mut frame) {
+                Ok(()) => MeshMsg::Sys(frame),
                 Err(_) => return,
             }
         } else {

@@ -6,7 +6,7 @@
 //! oversized frames are rejected at send time.
 
 use crate::framing::{decode_sysmsg, encode_sysmsg};
-use neutrino_codec::CodecKind;
+use neutrino_codec::{scratch, CodecKind};
 use neutrino_common::{Error, Result};
 use neutrino_messages::SysMsg;
 use std::net::{SocketAddr, UdpSocket};
@@ -34,27 +34,32 @@ impl UdpEndpoint {
         Ok(self.socket.local_addr()?)
     }
 
-    /// Sends one message to a peer.
+    /// Sends one message to a peer. The frame is built in a recycled
+    /// scratch buffer, so steady-state sends do not allocate.
     pub fn send_to(&self, msg: &SysMsg, peer: SocketAddr) -> Result<()> {
-        let frame = encode_sysmsg(msg, self.codec)?;
-        if frame.len() > MAX_FRAME {
-            return Err(Error::exhausted(format!(
-                "frame of {} bytes exceeds datagram budget",
-                frame.len()
-            )));
-        }
-        self.socket.send_to(&frame, peer)?;
-        Ok(())
+        scratch::with_buf(|frame| {
+            encode_sysmsg(msg, self.codec, frame)?;
+            if frame.len() > MAX_FRAME {
+                return Err(Error::exhausted(format!(
+                    "frame of {} bytes exceeds datagram budget",
+                    frame.len()
+                )));
+            }
+            self.socket.send_to(frame, peer)?;
+            Ok(())
+        })
     }
 
     /// Receives one message, with a timeout. Returns the message and its
-    /// sender.
+    /// sender. The datagram lands in a recycled scratch buffer.
     pub fn recv_timeout(&self, timeout: Duration) -> Result<(SysMsg, SocketAddr)> {
         self.socket.set_read_timeout(Some(timeout))?;
-        let mut buf = vec![0u8; MAX_FRAME];
-        let (n, from) = self.socket.recv_from(&mut buf)?;
-        let msg = decode_sysmsg(&buf[..n], self.codec)?;
-        Ok((msg, from))
+        scratch::with_buf(|buf| {
+            buf.resize(MAX_FRAME, 0);
+            let (n, from) = self.socket.recv_from(buf)?;
+            let msg = decode_sysmsg(&buf[..n], self.codec)?;
+            Ok((msg, from))
+        })
     }
 }
 

@@ -127,7 +127,8 @@ fn every_variant_round_trips_in_every_codec() {
     );
     for codec in [CodecKind::Asn1Per, CodecKind::FastbufOptimized] {
         for msg in &samples {
-            let frame = encode_sysmsg(msg, codec).unwrap_or_else(|e| {
+            let mut frame = Vec::new();
+            encode_sysmsg(msg, codec, &mut frame).unwrap_or_else(|e| {
                 panic!("encode failed for {} under {codec}: {e:?}", msg.label())
             });
             let back = decode_sysmsg(&frame, codec).unwrap_or_else(|e| {
@@ -143,7 +144,8 @@ fn frame_tags_are_distinct_across_variants() {
     let samples = samples();
     let mut tags: Vec<u8> = Vec::new();
     for msg in &samples {
-        let frame = encode_sysmsg(msg, CodecKind::FastbufOptimized).unwrap();
+        let mut frame = Vec::new();
+        encode_sysmsg(msg, CodecKind::FastbufOptimized, &mut frame).unwrap();
         tags.push(frame[0]);
     }
     let mut sorted = tags.clone();
