@@ -515,8 +515,11 @@ impl<M: Clone + 'static> Sim<M> {
                     self.panic_event_budget(self.now);
                 }
                 // Truncate so the next boundary lands exactly on the first
-                // event past the budget.
-                slice_left = SLICE.min(self.config.max_events - self.events_processed + 1);
+                // event past the budget. The subtraction is safe (the check
+                // above guarantees events_processed <= max_events); the +1
+                // must saturate for max_events == u64::MAX.
+                slice_left =
+                    SLICE.min((self.config.max_events - self.events_processed).saturating_add(1));
             }
             let Some(key) = self.queue.peek_key() else {
                 break;
@@ -1024,6 +1027,34 @@ mod tests {
             max_events + 1,
             "slice truncation must stop at the first over-budget event"
         );
+    }
+
+    /// `max_events: u64::MAX` is the natural "disable the budget" value;
+    /// the slice-size computation must not overflow on it (debug panic /
+    /// release wrap to a zero-sized slice).
+    #[test]
+    fn unbounded_event_budget_does_not_overflow_slice_math() {
+        let links = Links::with_default(LinkSpec::fixed(Duration::ZERO));
+        let mut sim = Sim::with_config(
+            links,
+            SimConfig {
+                max_events: u64::MAX,
+            },
+        );
+        let b = NodeId::new(2);
+        sim.add_node(
+            b,
+            Box::new(Echo {
+                service: Duration::from_micros(1),
+                seen: Vec::new(),
+            }),
+        );
+        for i in 0..10u64 {
+            sim.inject_at(Instant::from_micros(i), b, i);
+        }
+        sim.run_to_completion();
+        let echo = sim.node_as::<Echo>(b).unwrap();
+        assert_eq!(echo.seen, (0..10).collect::<Vec<_>>());
     }
 
     #[test]

@@ -383,10 +383,15 @@ impl<T> Wheel<T> {
                 continue;
             };
             // Never jump past a far event's admission point: it could be
-            // due before the wheels' next boundary once admitted.
+            // due before the wheels' next boundary once admitted. Strictly
+            // before only — on equality the boundary path must run so the
+            // occupied slot cascades/activates (a bare cursor move would
+            // leave the slot's digit equal to the cursor's and
+            // `next_candidate` would misread it as wrapped); the far event's
+            // delta is then SPAN_TICKS - 1, admitted on the next iteration.
             if let Some(Min(k, _)) = self.far.peek() {
                 let admit_at = (k.at.as_nanos() >> TICK_SHIFT) - (SPAN_TICKS - 1);
-                if admit_at <= boundary {
+                if admit_at < boundary {
                     self.cursor = admit_at;
                     continue;
                 }
@@ -539,6 +544,22 @@ mod tests {
             ((1 << 41) + 7, 2),
             (1 << 45, 3),
             (u64::MAX >> 1, 4),
+        ]);
+    }
+
+    #[test]
+    fn far_admission_point_on_slot_boundary_still_cascades() {
+        // Regression: a far event whose admission tick equals the next due
+        // boundary. The clamp must not short-circuit past the boundary path,
+        // or the occupied slot (digit == cursor pos) is misread as wrapped
+        // and its events defer a full rotation behind later-keyed ones.
+        // Tick 1000 lives in level-1 slot 3 (boundary tick 768); the far
+        // event's admission point is exactly 768 + 2^32 - 1 - (2^32 - 1).
+        let tick = |t: u64| t << TICK_SHIFT;
+        assert_equivalent(&[
+            (tick(1000), 0),
+            (tick(40000), 1),
+            (tick(768 + SPAN_TICKS - 1), 2),
         ]);
     }
 

@@ -24,6 +24,10 @@ fn delay_strategy() -> impl Strategy<Value = u64> {
         2_000_000u64..200_000_000,           // timer band
         200_000_000u64..(1u64 << 41),        // around the wheel span (2^40 ns)
         (1u64 << 41)..(1u64 << 50),          // deep overflow territory
+        // Far delays whose admission tick (event tick minus span-1) lands
+        // exactly on a slot-block boundary: the admit clamp must yield to
+        // the boundary cascade on equality, not jump past it.
+        (1u64..1 << 16).prop_map(|k| ((k << 8) + ((1u64 << 32) - 1)) << 8),
     ]
 }
 
