@@ -23,7 +23,7 @@ use neutrino_bench::figures::{
     ablation, appsfig, burst, failure, handover, logsize, overload, pct, serialization,
 };
 use neutrino_bench::figures::{PctPoint, Profile};
-use neutrino_bench::{render, schedbench, sweep};
+use neutrino_bench::{render, schedbench, shardbench, sweep};
 use neutrino_netsim::alloc_count;
 use serde::Serialize;
 use std::collections::BTreeMap;
@@ -75,6 +75,10 @@ fn main() {
     if let Some(jobs) = flag_value("--jobs") {
         let jobs: usize = jobs.parse().expect("--jobs takes a worker count");
         sweep::set_jobs(jobs);
+    }
+    if let Some(shards) = flag_value("--shards") {
+        let shards: usize = shards.parse().expect("--shards takes a shard count");
+        neutrino_core::experiment::set_shards(shards);
     }
     let profile = if quick { Profile::Quick } else { Profile::Full };
     let mut figs: Vec<String> = args
@@ -251,6 +255,10 @@ fn write_bench(
         ),
         ("jobs".to_string(), serde_json::to_value(&sweep::jobs()).expect("ser")),
         (
+            "shards".to_string(),
+            serde_json::to_value(&neutrino_core::experiment::shards()).expect("ser"),
+        ),
+        (
             "host_cores".to_string(),
             serde_json::to_value(
                 &std::thread::available_parallelism()
@@ -294,6 +302,27 @@ fn write_bench(
     report.push((
         "engine_wheel".to_string(),
         serde_json::to_value(&engine_wheel).expect("ser"),
+    ));
+    // Sharded-engine bench: the multi-region ring through ShardedSim at
+    // 1/2/4 shards. `measure` asserts (events, order_hash) identity across
+    // shard counts before reporting throughput, so these rows double as a
+    // determinism check on every bench run. Speedups above 1 need real
+    // parallel hardware — on a single-core host the window coordination is
+    // pure overhead (see the `note` field written with the report).
+    let sharded_horizon = neutrino_common::time::Duration::from_millis(if quick { 20 } else { 200 });
+    let engine_sharded = shardbench::measure(sharded_horizon, &[2, 4]);
+    for p in &engine_sharded {
+        eprintln!(
+            "[engine_sharded shards={}: {} events, {:.2}M events/s, {:.2}x vs sequential]",
+            p.shards,
+            p.events,
+            p.events_per_sec / 1e6,
+            p.speedup_vs_sequential
+        );
+    }
+    report.push((
+        "engine_sharded".to_string(),
+        serde_json::to_value(&engine_sharded).expect("ser"),
     ));
     // Overload throughput/latency percentiles (admitted vs offered, p50/p99
     // by class) ride along whenever the `overload` figure ran.

@@ -1,0 +1,203 @@
+//! Sharded-engine bench core: the multi-region ring workload driven
+//! through [`ShardedSim`] at several shard counts.
+//!
+//! Both the `engine` criterion bench (shards axis) and `repro --bench-out`
+//! (the `engine_sharded` key in BENCH_netsim.json) run this driver, so the
+//! numbers they report come from the identical topology and schedule. The
+//! workload is the paper's deployment shape reduced to its scaling
+//! skeleton: per region a 5 µs ring of nodes churning local tokens, and a
+//! 500 µs inter-region hop every [`CROSS_EVERY`]-th forward, which both
+//! couples the shards and fixes the conservative lookahead at 500 µs —
+//! one barrier per ~100 local hops.
+//!
+//! Every run folds its delivery history into an order checksum; a shard
+//! count that dispatched even two equal-time events in a different order
+//! produces a different checksum, so callers assert identity across shard
+//! counts before trusting the throughput numbers.
+
+use neutrino_common::time::{Duration, Instant};
+use neutrino_netsim::{LinkSpec, Links, Node, NodeEvent, NodeId, Outbox, ShardedSim};
+use serde::Serialize;
+
+/// Every this-many forwards, a token jumps to the next region instead of
+/// the next ring neighbor.
+const CROSS_EVERY: u64 = 64;
+
+/// One measured shard count on the multi-region ring (`engine_sharded`
+/// entries in BENCH_netsim.json).
+#[derive(Debug, Serialize)]
+pub struct ShardBenchPoint {
+    /// Engine shard count (1 = the sequential engine).
+    pub shards: usize,
+    /// Engine events processed over the virtual horizon.
+    pub events: u64,
+    /// Host seconds spent inside `run_until`.
+    pub wall_s: f64,
+    /// Throughput in events per wall-clock second.
+    pub events_per_sec: f64,
+    /// `events_per_sec` over the `shards = 1` run's (1.0 for that run).
+    pub speedup_vs_sequential: f64,
+    /// Order checksum over every node's delivery history — must be equal
+    /// across all shard counts (asserted by [`measure`]).
+    pub order_hash: u64,
+}
+
+/// Forwards tokens around its region's ring, detouring to the next region
+/// every [`CROSS_EVERY`]-th forward, and folds each arrival into an
+/// FNV-style checksum of `(token, virtual time)` in arrival order.
+struct RegionHop {
+    next_local: NodeId,
+    next_region: NodeId,
+    hash: u64,
+}
+
+impl Node<u64> for RegionHop {
+    fn service_time(&self, _msg: &u64) -> Duration {
+        Duration::from_nanos(500)
+    }
+
+    fn handle(&mut self, event: NodeEvent<u64>, out: &mut Outbox<u64>) {
+        if let NodeEvent::Message { msg, .. } = event {
+            self.hash = (self.hash ^ msg ^ out.now().as_nanos())
+                .wrapping_mul(0x0000_0100_0000_01B3);
+            let hops = msg >> 32;
+            let token = msg & 0xFFFF_FFFF;
+            let fwd = ((hops + 1) << 32) | token;
+            if hops % CROSS_EVERY == CROSS_EVERY - 1 {
+                out.send(self.next_region, fwd);
+            } else {
+                out.send(self.next_local, fwd);
+            }
+        }
+    }
+
+    fn as_any(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+/// Region `r`, ring position `i` → node id (region-banded like the
+/// cluster's id scheme, exercising the sparse id → shard map).
+fn ring_node(region: usize, i: usize) -> NodeId {
+    NodeId::new(1 + region as u64 * 1000 + i as u64)
+}
+
+/// Runs the ring on `shards` shards; returns (events, wall seconds,
+/// order hash).
+fn run_ring(
+    regions: usize,
+    nodes_per_region: usize,
+    balls_per_region: u64,
+    horizon: Duration,
+    shards: usize,
+) -> (u64, f64, u64) {
+    // Cross-region hops take the 500 µs default (the lookahead); ring
+    // neighbors inside a region get 5 µs overrides.
+    let mut links = Links::with_default(LinkSpec::fixed(Duration::from_micros(500)));
+    for r in 0..regions {
+        for i in 0..nodes_per_region {
+            links.set(
+                ring_node(r, i),
+                ring_node(r, (i + 1) % nodes_per_region),
+                LinkSpec::fixed(Duration::from_micros(5)),
+            );
+        }
+    }
+    let mut sim = ShardedSim::new(links, shards);
+    for r in 0..regions {
+        for i in 0..nodes_per_region {
+            sim.add_node(
+                ring_node(r, i),
+                Box::new(RegionHop {
+                    next_local: ring_node(r, (i + 1) % nodes_per_region),
+                    next_region: ring_node((r + 1) % regions, 0),
+                    hash: 0xCBF2_9CE4_8422_2325,
+                }),
+                r % shards.max(1),
+            );
+        }
+    }
+    for r in 0..regions {
+        for b in 0..balls_per_region {
+            sim.inject_at(
+                Instant::from_nanos(b * 100),
+                ring_node(r, (b as usize) % nodes_per_region),
+                b & 0xFFFF_FFFF,
+            );
+        }
+    }
+    let start = std::time::Instant::now();
+    sim.run_until(Instant::ZERO + horizon);
+    let wall = start.elapsed().as_secs_f64();
+    let mut hash = 0u64;
+    for r in 0..regions {
+        for i in 0..nodes_per_region {
+            let node = sim
+                .node_as::<RegionHop>(ring_node(r, i))
+                .expect("ring node registered");
+            hash = (hash ^ node.hash).wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+    (sim.events_processed(), wall, hash)
+}
+
+/// Measures the multi-region ring at each shard count (1 is always run
+/// first as the sequential baseline) and asserts that every run processed
+/// the same events in the same order before reporting throughput.
+pub fn measure(horizon: Duration, shard_counts: &[usize]) -> Vec<ShardBenchPoint> {
+    const REGIONS: usize = 4;
+    const NODES_PER_REGION: usize = 8;
+    const BALLS_PER_REGION: u64 = 16;
+    let mut points: Vec<ShardBenchPoint> = Vec::new();
+    let mut counts = vec![1usize];
+    counts.extend(shard_counts.iter().copied().filter(|&s| s > 1));
+    for shards in counts {
+        let (events, wall_s, order_hash) =
+            run_ring(REGIONS, NODES_PER_REGION, BALLS_PER_REGION, horizon, shards);
+        let events_per_sec = if wall_s > 0.0 {
+            events as f64 / wall_s
+        } else {
+            0.0
+        };
+        if let Some(seq) = points.first() {
+            assert_eq!(
+                (events, order_hash),
+                (seq.events, seq.order_hash),
+                "sharded run (shards={shards}) diverged from the sequential engine"
+            );
+        }
+        let speedup_vs_sequential = points
+            .first()
+            .map(|seq| {
+                if seq.events_per_sec > 0.0 {
+                    events_per_sec / seq.events_per_sec
+                } else {
+                    0.0
+                }
+            })
+            .unwrap_or(1.0);
+        points.push(ShardBenchPoint {
+            shards,
+            events,
+            wall_s,
+            events_per_sec,
+            speedup_vs_sequential,
+            order_hash,
+        });
+    }
+    points
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_is_byte_identical_across_shard_counts() {
+        // measure() itself asserts (events, order_hash) identity for every
+        // listed shard count against the sequential baseline.
+        let points = measure(Duration::from_millis(5), &[2, 4]);
+        assert_eq!(points.len(), 3);
+        assert!(points.iter().all(|p| p.events > 0));
+    }
+}

@@ -241,6 +241,7 @@ pub fn run_case(plan: &CasePlan) -> CheckReport {
         links,
         SimConfig::for_horizon(horizon),
         plan.seed,
+        neutrino_core::experiment::shards(),
     );
 
     // Chaos schedule: crash and partition times are relative to the

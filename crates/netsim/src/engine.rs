@@ -17,6 +17,7 @@ use neutrino_common::time::{Duration, Instant};
 use std::any::Any;
 use std::collections::VecDeque;
 use std::fmt;
+use std::sync::Arc;
 
 /// Identifies a node inside a simulation.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -126,7 +127,11 @@ impl<M> Default for Outbox<M> {
 }
 
 /// A protocol state machine living at one node.
-pub trait Node<M>: Any {
+///
+/// `Send` is required so the region-sharded engine ([`crate::shard`]) can
+/// run shards on worker threads; nodes are only ever *moved* across
+/// threads at window barriers, never shared, so `Sync` is not needed.
+pub trait Node<M>: Any + Send {
     /// Service time charged for a message *before* [`Node::handle`] runs —
     /// the CPU the node burns parsing, processing, and building responses.
     /// Zero means the message is pure bookkeeping.
@@ -144,12 +149,27 @@ pub trait Node<M>: Any {
     fn as_any(&mut self) -> &mut dyn Any;
 }
 
-enum EventKind<M> {
+pub(crate) enum EventKind<M> {
     Deliver { to: NodeId, from: NodeId, msg: M },
     JobComplete { node: NodeId, epoch: u64, job: u64 },
     Timer { node: NodeId, id: u64, epoch: u64 },
     Crash { node: NodeId },
     Recover { node: NodeId },
+}
+
+impl<M> EventKind<M> {
+    /// The node whose shard must dispatch this event. `JobComplete`,
+    /// `Timer`, `Crash` and `Recover` always target the node that owns
+    /// them; only `Deliver` crosses shards.
+    pub(crate) fn target(&self) -> NodeId {
+        match self {
+            EventKind::Deliver { to, .. } => *to,
+            EventKind::JobComplete { node, .. }
+            | EventKind::Timer { node, .. }
+            | EventKind::Crash { node }
+            | EventKind::Recover { node } => *node,
+        }
+    }
 }
 
 struct NodeEntry<M> {
@@ -208,6 +228,106 @@ const MAX_DENSE_ID: u64 = 1 << 24;
 /// Slot sentinel meaning "no node registered at this raw id".
 const NO_SLOT: u32 = u32::MAX;
 
+/// Shard sentinel in the raw-id → shard map meaning "not registered
+/// anywhere"; such targets dispatch locally (and count as unroutable
+/// there), so the per-shard unroutable counters sum to the sequential
+/// engine's count.
+pub(crate) const NO_SHARD: u32 = u32::MAX;
+
+/// First provisional sequence number handed out inside a sharded window.
+/// Coordinator-assigned global sequences grow from zero and can never
+/// reach this (the event budget trips first), so every event already
+/// pending when a window opens wins equal-time ties against events pushed
+/// *during* the window — exactly the sequential engine's push-order
+/// tiebreak, where pending events were pushed earlier.
+pub(crate) const PROVISIONAL_SEQ_BASE: u64 = 1 << 63;
+
+/// One push made during a sharded window, recorded in push order so the
+/// window coordinator can symbolically replay it (see [`crate::shard`]).
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum PushRec {
+    /// Entered this shard's own wheel under a provisional key
+    /// (`at <= bound`, target owned locally).
+    Local {
+        /// Scheduled time.
+        at: Instant,
+    },
+    /// Target owned locally but past the window bound; the event body sits
+    /// in [`WindowOut::deferred`] awaiting a coordinator-assigned key.
+    Deferred {
+        /// Scheduled time.
+        at: Instant,
+    },
+    /// Target owned by another shard; the event body sits in
+    /// [`WindowOut::exports`] awaiting routing at the barrier.
+    Export {
+        /// Scheduled time.
+        at: Instant,
+        /// Destination shard.
+        dest: u32,
+    },
+}
+
+impl PushRec {
+    pub(crate) fn at(&self) -> Instant {
+        match self {
+            PushRec::Local { at } | PushRec::Deferred { at } | PushRec::Export { at, .. } => *at,
+        }
+    }
+}
+
+/// One dispatched event's slice of the window log: the time it ran at and
+/// how many entries it appended to [`WindowOut::pushes`].
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct DispatchRec {
+    pub(crate) at: Instant,
+    pub(crate) pushes: u32,
+}
+
+/// Everything a shard ships to the window coordinator at a barrier.
+pub(crate) struct WindowOut<M> {
+    /// Events dispatched this window, in dispatch order.
+    pub(crate) dispatches: Vec<DispatchRec>,
+    /// Pushes made this window, in push order, segmented by
+    /// `dispatches[i].pushes`.
+    pub(crate) pushes: Vec<PushRec>,
+    /// Bodies of `PushRec::Deferred` pushes, in push order.
+    pub(crate) deferred: Vec<(Instant, EventKind<M>)>,
+    /// Bodies of `PushRec::Export` pushes, in push order.
+    pub(crate) exports: Vec<(u32, Instant, EventKind<M>)>,
+}
+
+impl<M> Default for WindowOut<M> {
+    fn default() -> Self {
+        WindowOut {
+            dispatches: Vec::new(),
+            pushes: Vec::new(),
+            deferred: Vec::new(),
+            exports: Vec::new(),
+        }
+    }
+}
+
+/// Per-shard window state, installed once by [`crate::shard::ShardedSim`]
+/// when it goes multi-shard. `None` on every sequential `Sim`, so the
+/// sequential hot path pays exactly one predictable branch in `push`.
+struct WindowState<M> {
+    /// This shard's index.
+    my_shard: u32,
+    /// Raw node id → owning shard (`NO_SHARD` / out of range = local).
+    /// Shared read-only with the coordinator and sibling shards; replaced
+    /// wholesale when nodes are added.
+    shard_of: Arc<Vec<u32>>,
+    /// Inclusive bound of the window currently running.
+    bound: Instant,
+    /// Next provisional sequence (reset to [`PROVISIONAL_SEQ_BASE`] per
+    /// window).
+    prov_seq: u64,
+    /// True only while `run_window` is on the stack.
+    active: bool,
+    out: WindowOut<M>,
+}
+
 /// The simulator.
 pub struct Sim<M> {
     now: Instant,
@@ -239,6 +359,9 @@ pub struct Sim<M> {
     /// Recycled outbox: send/timer buffers are reused across `handle`
     /// calls instead of being reallocated per event.
     scratch: Outbox<M>,
+    /// Sharded-window interception state; `None` for every sequential
+    /// engine (see [`WindowState`]).
+    window: Option<Box<WindowState<M>>>,
 }
 
 impl<M: Clone + 'static> Sim<M> {
@@ -268,6 +391,7 @@ impl<M: Clone + 'static> Sim<M> {
             reordered: 0,
             dropped_unroutable: 0,
             scratch: Outbox::default(),
+            window: None,
         }
     }
 
@@ -347,9 +471,134 @@ impl<M: Clone + 'static> Sim<M> {
     }
 
     fn push(&mut self, at: Instant, kind: EventKind<M>) {
+        if self.window.is_some() {
+            return self.push_windowed(at, kind);
+        }
         let seq = self.seq;
         self.seq += 1;
         self.queue.push(SchedKey { at, seq }, kind);
+    }
+
+    /// Window-mode push: classify by target shard and window bound, log
+    /// the push for the coordinator's symbolic replay, and only enter the
+    /// local wheel (under a provisional key) when the event both belongs
+    /// here and falls inside the window.
+    fn push_windowed(&mut self, at: Instant, kind: EventKind<M>) {
+        let w = self.window.as_mut().expect("windowed push");
+        debug_assert!(w.active, "push outside a window in sharded mode");
+        let target = kind.target();
+        let dest = w
+            .shard_of
+            .get(target.raw() as usize)
+            .copied()
+            .unwrap_or(NO_SHARD);
+        let rec = if dest != NO_SHARD && dest != w.my_shard {
+            w.out.exports.push((dest, at, kind));
+            PushRec::Export { at, dest }
+        } else if at > w.bound {
+            w.out.deferred.push((at, kind));
+            PushRec::Deferred { at }
+        } else {
+            let seq = w.prov_seq;
+            w.prov_seq += 1;
+            self.queue.push(SchedKey { at, seq }, kind);
+            let w = self.window.as_mut().expect("windowed push");
+            w.out.pushes.push(PushRec::Local { at });
+            w.out
+                .dispatches
+                .last_mut()
+                .expect("pushes only happen inside a dispatch")
+                .pushes += 1;
+            return;
+        };
+        w.out.pushes.push(rec);
+        w.out
+            .dispatches
+            .last_mut()
+            .expect("pushes only happen inside a dispatch")
+            .pushes += 1;
+    }
+
+    /// Pushes an event under a caller-supplied key, bypassing both the
+    /// local sequence counter and window classification. The shard
+    /// coordinator uses this to deliver barrier-merged events (and
+    /// pre-run injections) whose global sequence it assigned itself.
+    pub(crate) fn push_keyed(&mut self, key: SchedKey, kind: EventKind<M>) {
+        self.queue.push(key, kind);
+    }
+
+    /// Installs (or refreshes) window-mode interception; the engine now
+    /// belongs to shard `my_shard` of a [`crate::shard::ShardedSim`]. The
+    /// map is refreshed whenever nodes were added since the last run.
+    pub(crate) fn set_window(&mut self, my_shard: u32, shard_of: Arc<Vec<u32>>) {
+        match &mut self.window {
+            Some(w) => {
+                debug_assert!(!w.active, "map swap mid-window");
+                w.my_shard = my_shard;
+                w.shard_of = shard_of;
+            }
+            None => {
+                self.window = Some(Box::new(WindowState {
+                    my_shard,
+                    shard_of,
+                    bound: Instant::ZERO,
+                    prov_seq: PROVISIONAL_SEQ_BASE,
+                    active: false,
+                    out: WindowOut::default(),
+                }));
+            }
+        }
+    }
+
+    /// Runs one conservative window: dispatches every pending event with
+    /// `at <= bound` (all of which are local by construction) and returns
+    /// the push log + deferred/exported event bodies for the barrier.
+    ///
+    /// Unlike `run_until` this takes no wall-clock or allocation samples —
+    /// the coordinator measures the whole sharded run once — and checks
+    /// the event budget per event against the *global* budget, which
+    /// guards a single shard caught in a zero-delay feedback loop; the
+    /// cross-shard sum is checked by the coordinator at each barrier.
+    pub(crate) fn run_window(&mut self, bound: Instant) -> WindowOut<M> {
+        {
+            let w = self.window.as_mut().expect("sharded mode");
+            debug_assert!(!w.active, "window already running");
+            debug_assert!(
+                w.out.dispatches.is_empty()
+                    && w.out.pushes.is_empty()
+                    && w.out.deferred.is_empty()
+                    && w.out.exports.is_empty(),
+                "window buffers not drained"
+            );
+            w.bound = bound;
+            w.prov_seq = PROVISIONAL_SEQ_BASE;
+            w.active = true;
+        }
+        while let Some(key) = self.queue.peek_key() {
+            if key.at > bound {
+                break;
+            }
+            let (key, kind) = self.queue.pop().expect("peeked");
+            self.events_processed += 1;
+            if self.events_processed > self.config.max_events {
+                self.panic_event_budget(key.at);
+            }
+            debug_assert!(key.at >= self.now, "time went backwards");
+            self.now = key.at;
+            self.window
+                .as_mut()
+                .expect("sharded mode")
+                .out
+                .dispatches
+                .push(DispatchRec {
+                    at: key.at,
+                    pushes: 0,
+                });
+            self.dispatch(kind);
+        }
+        let w = self.window.as_mut().expect("sharded mode");
+        w.active = false;
+        std::mem::take(&mut w.out)
     }
 
     /// Injects a message from outside the simulated network, arriving at
@@ -471,6 +720,108 @@ impl<M: Clone + 'static> Sim<M> {
         }
     }
 
+    /// Dispatches one already-popped event at `self.now`. Shared between
+    /// the sequential `run_until` loop and the sharded `run_window` loop
+    /// so both paths run the identical per-event state machine.
+    #[inline(always)]
+    fn dispatch(&mut self, kind: EventKind<M>) {
+        match kind {
+            EventKind::Deliver { to, from, msg } => {
+                let slot = match self.slot(to) {
+                    Some(s) => s,
+                    None => {
+                        // Unknown destination: count it — a misrouted
+                        // message vanishing silently is undebuggable.
+                        self.dropped_unroutable += 1;
+                        return;
+                    }
+                };
+                let entry = &mut self.nodes[slot];
+                if !entry.up {
+                    entry.stats.dropped_down += 1;
+                    return;
+                }
+                entry.queue.push_back((from, msg, self.now));
+                let depth = entry.queue.len();
+                if depth > entry.stats.max_queue_depth {
+                    entry.stats.max_queue_depth = depth;
+                }
+                self.try_start_jobs(slot);
+            }
+            EventKind::JobComplete { node, epoch, job } => {
+                let slot = match self.slot(node) {
+                    Some(s) => s,
+                    // A completion for a node that was never registered is
+                    // just as misrouted as an unknown-destination Deliver:
+                    // count it instead of vanishing silently.
+                    None => {
+                        self.dropped_unroutable += 1;
+                        return;
+                    }
+                };
+                let entry = &mut self.nodes[slot];
+                if entry.epoch != epoch || !entry.up {
+                    return; // stale: node crashed since this job began
+                }
+                let pos = entry
+                    .running
+                    .iter()
+                    .position(|&(j, _, _)| j == job)
+                    .expect("job was running");
+                let (_, from, msg) = entry.running.swap_remove(pos);
+                entry.busy_cores -= 1;
+                entry.stats.processed += 1;
+                self.handle_at(slot, NodeEvent::Message { from, msg });
+                self.try_start_jobs(slot);
+            }
+            EventKind::Timer { node, id, epoch } => {
+                let slot = match self.slot(node) {
+                    Some(s) => s,
+                    // Same unroutable accounting as Deliver/JobComplete.
+                    None => {
+                        self.dropped_unroutable += 1;
+                        return;
+                    }
+                };
+                let entry = &mut self.nodes[slot];
+                if entry.epoch != epoch || !entry.up {
+                    return;
+                }
+                entry.stats.timers += 1;
+                self.handle_at(slot, NodeEvent::Timer { id });
+                self.try_start_jobs(slot);
+            }
+            EventKind::Crash { node } => {
+                if let Some(entry) = self.entry_mut(node) {
+                    entry.up = false;
+                    entry.epoch += 1;
+                    entry.stats.dropped_crash += (entry.queue.len() + entry.running.len()) as u64;
+                    entry.queue.clear();
+                    entry.running.clear();
+                    entry.busy_cores = 0;
+                }
+            }
+            EventKind::Recover { node } => {
+                if let Some(slot) = self.slot(node) {
+                    let entry = &mut self.nodes[slot];
+                    if !entry.up {
+                        entry.up = true;
+                        entry.epoch += 1;
+                        self.handle_at(slot, NodeEvent::Recovered);
+                        // Recovery handlers may self-enqueue work via a
+                        // zero-delay self-send; like every other arm, give
+                        // the node a chance to start service immediately
+                        // instead of stalling until the next external
+                        // event. (The queue is empty at this point unless
+                        // the handler filled it: crashing cleared it and
+                        // arrivals while down were dropped.)
+                        self.try_start_jobs(slot);
+                    }
+                }
+            }
+        }
+    }
+
     /// Diagnostic panic when the event budget trips: reports where the
     /// simulation was and which node was drowning.
     fn panic_event_budget(&self, at: Instant) -> ! {
@@ -511,7 +862,11 @@ impl<M: Clone + 'static> Sim<M> {
         loop {
             if slice_left == 0 {
                 if self.events_processed > self.config.max_events {
+                    // Symmetric with the normal exit below: both samples
+                    // must land before unwinding, or allocs_per_event()
+                    // silently under-reports on budget-truncated runs.
                     self.wall += wall_start.elapsed();
+                    self.allocs += crate::alloc_count::current().wrapping_sub(alloc_start);
                     self.panic_event_budget(self.now);
                 }
                 // Truncate so the next boundary lands exactly on the first
@@ -532,84 +887,7 @@ impl<M: Clone + 'static> Sim<M> {
             slice_left -= 1;
             debug_assert!(key.at >= self.now, "time went backwards");
             self.now = key.at;
-            match kind {
-                EventKind::Deliver { to, from, msg } => {
-                    let slot = match self.slot(to) {
-                        Some(s) => s,
-                        None => {
-                            // Unknown destination: count it — a misrouted
-                            // message vanishing silently is undebuggable.
-                            self.dropped_unroutable += 1;
-                            continue;
-                        }
-                    };
-                    let entry = &mut self.nodes[slot];
-                    if !entry.up {
-                        entry.stats.dropped_down += 1;
-                        continue;
-                    }
-                    entry.queue.push_back((from, msg, self.now));
-                    let depth = entry.queue.len();
-                    if depth > entry.stats.max_queue_depth {
-                        entry.stats.max_queue_depth = depth;
-                    }
-                    self.try_start_jobs(slot);
-                }
-                EventKind::JobComplete { node, epoch, job } => {
-                    let slot = match self.slot(node) {
-                        Some(s) => s,
-                        None => continue,
-                    };
-                    let entry = &mut self.nodes[slot];
-                    if entry.epoch != epoch || !entry.up {
-                        continue; // stale: node crashed since this job began
-                    }
-                    let pos = entry
-                        .running
-                        .iter()
-                        .position(|&(j, _, _)| j == job)
-                        .expect("job was running");
-                    let (_, from, msg) = entry.running.swap_remove(pos);
-                    entry.busy_cores -= 1;
-                    entry.stats.processed += 1;
-                    self.handle_at(slot, NodeEvent::Message { from, msg });
-                    self.try_start_jobs(slot);
-                }
-                EventKind::Timer { node, id, epoch } => {
-                    let slot = match self.slot(node) {
-                        Some(s) => s,
-                        None => continue,
-                    };
-                    let entry = &mut self.nodes[slot];
-                    if entry.epoch != epoch || !entry.up {
-                        continue;
-                    }
-                    entry.stats.timers += 1;
-                    self.handle_at(slot, NodeEvent::Timer { id });
-                    self.try_start_jobs(slot);
-                }
-                EventKind::Crash { node } => {
-                    if let Some(entry) = self.entry_mut(node) {
-                        entry.up = false;
-                        entry.epoch += 1;
-                        entry.stats.dropped_crash +=
-                            (entry.queue.len() + entry.running.len()) as u64;
-                        entry.queue.clear();
-                        entry.running.clear();
-                        entry.busy_cores = 0;
-                    }
-                }
-                EventKind::Recover { node } => {
-                    if let Some(slot) = self.slot(node) {
-                        let entry = &mut self.nodes[slot];
-                        if !entry.up {
-                            entry.up = true;
-                            entry.epoch += 1;
-                            self.handle_at(slot, NodeEvent::Recovered);
-                        }
-                    }
-                }
-            }
+            self.dispatch(kind);
         }
         self.wall += wall_start.elapsed();
         self.allocs += crate::alloc_count::current().wrapping_sub(alloc_start);
@@ -1074,6 +1352,127 @@ mod tests {
         sim.inject_at(Instant::ZERO, a, 0);
         sim.run_to_completion();
         assert_eq!(sim.sim_stats().dropped_unroutable, 3);
+    }
+
+    /// Pin: a `JobComplete` for a node that was never registered is
+    /// misrouted exactly like an unknown-destination `Deliver` and must
+    /// hit the same counter instead of vanishing silently.
+    #[test]
+    fn unroutable_job_completions_are_counted() {
+        let links = Links::with_default(LinkSpec::fixed(Duration::ZERO));
+        let mut sim: Sim<u64> = Sim::new(links);
+        sim.push(
+            Instant::from_micros(1),
+            EventKind::JobComplete {
+                node: NodeId::new(99),
+                epoch: 0,
+                job: 0,
+            },
+        );
+        sim.run_to_completion();
+        assert_eq!(sim.sim_stats().dropped_unroutable, 1);
+    }
+
+    /// Pin: same accounting for a `Timer` aimed at an unknown node.
+    #[test]
+    fn unroutable_timers_are_counted() {
+        let links = Links::with_default(LinkSpec::fixed(Duration::ZERO));
+        let mut sim: Sim<u64> = Sim::new(links);
+        sim.push(
+            Instant::from_micros(1),
+            EventKind::Timer {
+                node: NodeId::new(99),
+                id: 0,
+                epoch: 0,
+            },
+        );
+        sim.run_to_completion();
+        assert_eq!(sim.sim_stats().dropped_unroutable, 1);
+    }
+
+    /// Reports one fake heap allocation per handled message, exercising
+    /// the [`crate::alloc_count`] sampling in `run_until`.
+    struct Alloky;
+
+    impl Node<u64> for Alloky {
+        fn service_time(&self, _msg: &u64) -> Duration {
+            Duration::from_micros(1)
+        }
+        fn handle(&mut self, event: NodeEvent<u64>, _out: &mut Outbox<u64>) {
+            if let NodeEvent::Message { .. } = event {
+                crate::alloc_count::record(1);
+            }
+        }
+        fn as_any(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    /// Pin: the budget-panic exit must take the same allocation sample the
+    /// normal exit takes, or `allocs_per_event()` silently reads zero for
+    /// exactly the truncated runs whose panic message people debug with.
+    #[test]
+    fn budget_panic_exit_still_accumulates_allocs() {
+        let links = Links::with_default(LinkSpec::fixed(Duration::ZERO));
+        let mut sim = Sim::with_config(links, SimConfig { max_events: 6 });
+        let b = NodeId::new(2);
+        sim.add_node(b, Box::new(Alloky));
+        for i in 0..20u64 {
+            sim.inject_at(Instant::from_micros(i), b, i);
+        }
+        let panicked = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            sim.run_to_completion();
+        }));
+        assert!(panicked.is_err(), "budget must trip");
+        assert!(
+            sim.sim_stats().allocs >= 1,
+            "allocations recorded before the budget panic must survive it"
+        );
+    }
+
+    /// On `Recovered`, sends itself fresh work (zero link latency).
+    struct Phoenix {
+        me: NodeId,
+        processed: Vec<u64>,
+    }
+
+    impl Node<u64> for Phoenix {
+        fn service_time(&self, _msg: &u64) -> Duration {
+            Duration::from_micros(1)
+        }
+        fn handle(&mut self, event: NodeEvent<u64>, out: &mut Outbox<u64>) {
+            match event {
+                NodeEvent::Recovered => out.send(self.me, 7),
+                NodeEvent::Message { msg, .. } => self.processed.push(msg),
+                NodeEvent::Timer { .. } => {}
+            }
+        }
+        fn as_any(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    /// Pin: a recovered node that self-enqueues work in its `Recovered`
+    /// handler processes it with no further external events — the
+    /// `Recover` arm starts service like every other dispatch arm.
+    #[test]
+    fn recovered_node_immediately_starts_self_enqueued_work() {
+        let links = Links::with_default(LinkSpec::fixed(Duration::ZERO));
+        let mut sim = Sim::new(links);
+        let b = NodeId::new(2);
+        sim.add_node(
+            b,
+            Box::new(Phoenix {
+                me: b,
+                processed: Vec::new(),
+            }),
+        );
+        sim.crash_at(Instant::ZERO, b);
+        sim.recover_at(Instant::from_micros(10), b);
+        sim.run_to_completion();
+        assert_eq!(sim.stats(b).unwrap().processed, 1);
+        let phoenix = sim.node_as::<Phoenix>(b).unwrap();
+        assert_eq!(phoenix.processed, vec![7], "self-enqueued work ran");
     }
 
     #[test]

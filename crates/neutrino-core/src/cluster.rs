@@ -9,7 +9,7 @@ use neutrino_cpf::{CpfConfig, CpfCore, CpfMetrics};
 use neutrino_cta::{CtaConfig, CtaCore, CtaMetrics};
 use neutrino_geo::{Deployment, RegionLayout};
 use neutrino_messages::SysMsg;
-use neutrino_netsim::{FaultSpec, LinkSpec, Links, Sim, SimConfig};
+use neutrino_netsim::{FaultSpec, LinkSpec, Links, ShardedSim, SimConfig};
 use neutrino_upf::UpfCore;
 
 /// Merged admission-gate priority evidence: per class, the lowest token
@@ -58,8 +58,10 @@ impl Default for LinkProfile {
 
 /// A built simulation plus its id maps.
 pub struct Cluster {
-    /// The simulator.
-    pub sim: Sim<SimMsg>,
+    /// The simulator: region-sharded when built with `shards > 1` and the
+    /// link table is jitter- and fault-free, sequential otherwise — either
+    /// way byte-identical event order.
+    pub sim: ShardedSim<SimMsg>,
     /// The deployment it models.
     pub deployment: Deployment,
     config: SystemConfig,
@@ -83,11 +85,14 @@ impl Cluster {
             links_profile,
             SimConfig::default(),
             0,
+            crate::experiment::shards(),
         )
     }
 
     /// [`Cluster::build`] with an explicit engine config (runaway-event
-    /// budget) and jitter seed; `run_experiment` derives both per cell.
+    /// budget), jitter seed, and engine shard count; `run_experiment`
+    /// derives all three per cell.
+    #[allow(clippy::too_many_arguments)]
     pub fn build_with_sim(
         config: SystemConfig,
         mut layout: RegionLayout,
@@ -96,6 +101,7 @@ impl Cluster {
         links_profile: LinkProfile,
         sim_config: SimConfig,
         seed: u64,
+        shards: usize,
     ) -> Cluster {
         layout.replicas = config.replicas;
         let deployment = Deployment::build(layout);
@@ -125,7 +131,7 @@ impl Cluster {
                 }
             }
         }
-        let mut sim = Sim::with_config(links, sim_config);
+        let mut sim = ShardedSim::with_config(links, sim_config, shards);
 
         // UE population. All workload traffic enters through region 0's CTA
         // and CPF pool — the paper's testbed drives one pool of five CPF
@@ -149,10 +155,16 @@ impl Cluster {
                 bss: r.bss.clone(),
             })
             .collect();
-        sim.add_node(UEPOP_NODE, Box::new(UePopulation::new(uecfg, workload)));
+        // The population shares shard 0 with region 0 (the entry point for
+        // all workload traffic), so the hot UE↔CTA path stays shard-local.
+        sim.add_node(UEPOP_NODE, Box::new(UePopulation::new(uecfg, workload)), 0);
 
-        // Per-region control plane.
+        // Per-region control plane: each region's nodes land together on
+        // the shard `crates/geo` assigns it, so only the 500 µs
+        // inter-region links (and the population's cross-region fallback
+        // routes) cross shard boundaries.
         for region in deployment.regions() {
+            let shard = deployment.shard_of_region(region.id, shards);
             let ring = deployment
                 .ring_stack(region.id)
                 .expect("regions have rings");
@@ -179,6 +191,7 @@ impl Cluster {
                     config.logging,
                     Duration::from_secs(5),
                 )),
+                shard,
             );
             let remote_peers: Vec<_> = deployment
                 .level2_siblings(region.id)
@@ -205,12 +218,14 @@ impl Cluster {
                 sim.add_node(
                     cpf_node(cpf),
                     Box::new(CpfNode::new(CpfCore::new(cpf_cfg), config.clone())),
+                    shard,
                 );
             }
             for &upf in &region.upfs {
                 sim.add_node(
                     upf_node(upf),
                     Box::new(UpfNode::new(UpfCore::with_cta(upf, region.cta), config.cpu)),
+                    shard,
                 );
             }
         }
