@@ -3,6 +3,7 @@
 //! ```text
 //! explore --scenario failover --seeds 500 --jobs 8
 //! explore --scenario all --seeds 1000 --corpus corpus-out
+//! explore --exhaustive --scenario mcheck-attach-failover --bound 12
 //! explore --replay crates/check/corpus/failover-seed17.json
 //! explore --list
 //! ```
@@ -13,13 +14,20 @@
 //! failure it shrinks the lowest failing seed, pins the shrunk plan as a
 //! corpus case, double-runs it to prove byte-identical replay, and exits
 //! non-zero.
+//!
+//! `--exhaustive` switches from seed sweeping to small-model interleaving
+//! checking: one plan (`--start-seed` picks the seed), every schedule of
+//! its contended deliveries up to `--bound` branch points. The run is
+//! single-threaded and fully deterministic — the report (and `--json`
+//! output) is byte-identical across reruns and any `--jobs` value. A
+//! violating interleaving is pinned to the corpus with its choice trace.
 
 use neutrino_bench::sweep::run_cells_with;
 use neutrino_check::corpus::{self, CorpusCase};
 use neutrino_check::run::{run_case, CheckReport};
-use neutrino_check::scenario::{CasePlan, Scenario};
+use neutrino_check::scenario::{plan_by_name, CasePlan, Scenario, SMALL_MODEL_NAMES};
 use neutrino_check::shrink::shrink;
-use neutrino_check::ALL_INVARIANTS;
+use neutrino_check::{explore_exhaustive, McheckOptions, ALL_INVARIANTS};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -33,10 +41,15 @@ struct Args {
     shrink_budget: u64,
     replay: Option<PathBuf>,
     list: bool,
+    exhaustive: bool,
+    bound: usize,
+    max_paths: u64,
+    json: Option<PathBuf>,
 }
 
 const USAGE: &str = "usage: explore [--scenario NAME|all] [--seeds N] [--start-seed S] \
-[--jobs J] [--shards S] [--corpus DIR] [--shrink-budget R] [--replay FILE] [--list]";
+[--jobs J] [--shards S] [--corpus DIR] [--shrink-budget R] [--replay FILE] [--list] \
+[--exhaustive] [--bound B] [--max-paths P] [--json FILE]";
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
@@ -49,6 +62,10 @@ fn parse_args() -> Result<Args, String> {
         shrink_budget: 150,
         replay: None,
         list: false,
+        exhaustive: false,
+        bound: McheckOptions::default().bound,
+        max_paths: McheckOptions::default().max_paths,
+        json: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -81,6 +98,16 @@ fn parse_args() -> Result<Args, String> {
             }
             "--replay" => args.replay = Some(PathBuf::from(value("--replay")?)),
             "--list" => args.list = true,
+            "--exhaustive" => args.exhaustive = true,
+            "--bound" => {
+                args.bound = value("--bound")?.parse().map_err(|e| format!("--bound: {e}"))?
+            }
+            "--max-paths" => {
+                args.max_paths = value("--max-paths")?
+                    .parse()
+                    .map_err(|e| format!("--max-paths: {e}"))?
+            }
+            "--json" => args.json = Some(PathBuf::from(value("--json")?)),
             "--help" | "-h" => {
                 println!("{USAGE}");
                 std::process::exit(0);
@@ -95,6 +122,10 @@ fn list() {
     println!("scenarios:");
     for s in Scenario::all() {
         println!("  {:<18} {} [{}]", s.name, s.summary, s.system);
+    }
+    println!("small models (--exhaustive):");
+    for name in SMALL_MODEL_NAMES {
+        println!("  {name}");
     }
     println!("invariants:");
     for i in ALL_INVARIANTS {
@@ -190,6 +221,91 @@ fn pin_failure(plan: &CasePlan, dir: &std::path::Path, budget: u64) -> PathBuf {
     path
 }
 
+/// Machine-readable exhaustive-run summary (`--json`); byte-identical
+/// across reruns of the same invocation.
+#[derive(serde::Serialize)]
+struct ExhaustiveSummary {
+    scenario: String,
+    seed: u64,
+    bound: usize,
+    max_paths: u64,
+    paths_explored: u64,
+    states_deduped: u64,
+    max_frontier: u64,
+    pruned_independent: u64,
+    identity_choice_points: u64,
+    truncated: bool,
+    violations: u64,
+}
+
+/// Runs the small-model exhaustive checker on one named plan.
+fn run_exhaustive(args: &Args, corpus_dir: &std::path::Path) -> ExitCode {
+    let Some(mut plan) = plan_by_name(&args.scenario, args.start_seed) else {
+        eprintln!("error: unknown scenario `{}` (try --list)", args.scenario);
+        return ExitCode::FAILURE;
+    };
+    let opts = McheckOptions {
+        bound: args.bound,
+        max_paths: args.max_paths,
+    };
+    println!(
+        "exhaustive {} (seed {}, bound {}, max paths {})",
+        plan.scenario, plan.seed, opts.bound, opts.max_paths
+    );
+    let outcome = explore_exhaustive(&plan, &opts);
+    let s = &outcome.stats;
+    println!(
+        "  {} paths explored, {} states deduped, max frontier {}, \
+         {} pruned independent, {} identity choice points{}",
+        s.paths_explored,
+        s.states_deduped,
+        s.max_frontier,
+        s.pruned_independent,
+        s.identity_choice_points,
+        if s.truncated { " (TRUNCATED at --max-paths)" } else { "" }
+    );
+    let summary = ExhaustiveSummary {
+        scenario: plan.scenario.clone(),
+        seed: plan.seed,
+        bound: opts.bound,
+        max_paths: opts.max_paths,
+        paths_explored: s.paths_explored,
+        states_deduped: s.states_deduped,
+        max_frontier: s.max_frontier,
+        pruned_independent: s.pruned_independent,
+        identity_choice_points: s.identity_choice_points,
+        truncated: s.truncated,
+        violations: outcome
+            .violation
+            .as_ref()
+            .map(|v| v.report.fingerprint.violations)
+            .unwrap_or(0),
+    };
+    if let Some(path) = &args.json {
+        let json = serde_json::to_string_pretty(&summary).expect("summary serializes");
+        if let Err(e) = std::fs::write(path, json + "\n") {
+            eprintln!("error: writing {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    }
+    match outcome.violation {
+        None => {
+            println!("  clean: no interleaving within the bound fires an invariant");
+            ExitCode::SUCCESS
+        }
+        Some(v) => {
+            println!(
+                "  FAILED: interleaving {:?} fires {} violations",
+                v.trace, v.report.fingerprint.violations
+            );
+            print_violations(&v.report);
+            plan.choice_trace = v.trace;
+            pin_failure(&plan, corpus_dir, args.shrink_budget);
+            ExitCode::FAILURE
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(a) => a,
@@ -208,6 +324,14 @@ fn main() -> ExitCode {
     neutrino_core::experiment::set_shards(args.shards);
     if let Some(path) = &args.replay {
         return replay(path);
+    }
+    if args.exhaustive {
+        if args.scenario == "all" {
+            eprintln!("error: --exhaustive needs a single --scenario (try --list)");
+            return ExitCode::FAILURE;
+        }
+        let corpus_dir = args.corpus.clone().unwrap_or_else(corpus::corpus_dir);
+        return run_exhaustive(&args, &corpus_dir);
     }
     let scenarios = if args.scenario == "all" {
         Scenario::all()

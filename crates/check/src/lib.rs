@@ -15,9 +15,13 @@
 //!   sim-time intervals, pausing only at instants where events actually
 //!   occurred (so long drain tails cost nothing) and never perturbing the
 //!   event schedule. Produces a byte-stable [`CheckReport`](run::CheckReport).
+//! * [`mcheck`] — the small-model exhaustive interleaving checker: a DFS
+//!   over every schedule of simultaneously enabled deliveries (bounded by
+//!   contended-delivery count), with sleep-set-style independence pruning
+//!   and fingerprint-based state deduplication.
 //! * [`shrink`] — minimizes a failing plan (drop partitions and crashes,
-//!   zero fault rates, shorten the horizon, fewer UEs) while it keeps
-//!   failing.
+//!   zero fault rates, shorten the horizon, fewer UEs, truncate the
+//!   choice trace) while it keeps failing.
 //! * [`corpus`] — pinned regression cases under `crates/check/corpus/`:
 //!   shrunk plans that must replay clean and byte-identically on a healthy
 //!   tree.
@@ -32,12 +36,17 @@
 
 pub mod corpus;
 pub mod invariants;
+pub mod mcheck;
 pub mod run;
 pub mod scenario;
 pub mod shrink;
 
 pub use corpus::CorpusCase;
 pub use invariants::{invariant_by_name, ALL_INVARIANTS};
-pub use run::{run_case, CheckReport, Fingerprint, ViolationRecord};
-pub use scenario::{CasePlan, Scenario};
+pub use mcheck::{explore_exhaustive, McheckOptions, McheckOutcome, McheckStats};
+pub use run::{
+    run_case, run_case_sharded, run_case_with, CheckReport, Fingerprint, RunOutcome,
+    ViolationRecord,
+};
+pub use scenario::{plan_by_name, small_model_plan, CasePlan, Scenario, SMALL_MODEL_NAMES};
 pub use shrink::{shrink, ShrinkOutcome};

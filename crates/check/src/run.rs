@@ -10,12 +10,14 @@
 //! passes, not hundreds.
 
 use crate::invariants::invariant_for_case;
+use crate::mcheck::ScriptChooser;
 use crate::scenario::{CasePlan, EndpointPlan};
 use neutrino_core::experiment::adapt_workload;
 use neutrino_core::oracle::{Invariant, OracleCtx, Violation};
 use neutrino_core::simnode::{cpf_node, cta_node};
-use neutrino_core::{Cluster, LinkProfile, SystemConfig, UePopConfig, Workload};
+use neutrino_core::{Arrival, Cluster, LinkProfile, SimMsg, SystemConfig, UePopConfig, Workload};
 use neutrino_common::time::{Duration, Instant};
+use neutrino_common::UeId;
 use neutrino_cta::AdmissionParams;
 use neutrino_geo::RegionLayout;
 use neutrino_messages::procedures::ProcedureKind;
@@ -115,6 +117,19 @@ pub struct CheckReport {
     pub fingerprint: Fingerprint,
 }
 
+/// A [`CheckReport`] plus which engine actually ran. Engine selection is
+/// an execution detail, not part of the replay-equality witness, so it
+/// lives outside the serialized report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunOutcome {
+    /// The run's report.
+    pub report: CheckReport,
+    /// True when the run executed on the region-sharded engine (a shard
+    /// request degrades to sequential for fault-ful links or a non-empty
+    /// choice trace).
+    pub sharded: bool,
+}
+
 impl CheckReport {
     /// True when no invariant fired.
     pub fn is_clean(&self) -> bool {
@@ -151,11 +166,46 @@ pub fn kind_by_name(name: &str) -> Option<ProcedureKind> {
 /// Runs one plan to its horizon with oracle passes every
 /// `check_interval_ms`, plus a final pass after the drain.
 ///
+/// Honors the plan's `choice_trace`: a non-empty trace replays the pinned
+/// interleaving through a [`ScriptChooser`] on the sequential engine;
+/// otherwise the run uses the process-wide shard setting, byte-identical
+/// to the pre-mcheck checker.
+///
 /// Panics on a malformed plan (unknown system, procedure kind, invariant,
 /// or partition endpoint) — plans come from [`Scenario::plan`]
 /// (crate::scenario::Scenario::plan) or a pinned corpus file, and a typo
 /// there should fail loudly, not skip silently.
 pub fn run_case(plan: &CasePlan) -> CheckReport {
+    run_case_sharded(plan, neutrino_core::experiment::shards()).report
+}
+
+/// [`run_case`] with an explicit shard request, bypassing the
+/// process-global setting (which parallel tests must not mutate). The
+/// request is best-effort: fault-ful links or a non-empty `choice_trace`
+/// degrade to the sequential engine — the outcome's `sharded` flag says
+/// what actually ran.
+pub fn run_case_sharded(plan: &CasePlan, shards: usize) -> RunOutcome {
+    if plan.choice_trace.is_empty() {
+        run_case_with(plan, shards, None)
+    } else {
+        let mut script = ScriptChooser::new(&plan.choice_trace);
+        run_case_with(plan, 1, Some(&mut script))
+    }
+}
+
+/// The full checker: one plan, an explicit shard count, and an optional
+/// interleaving chooser (which requires `shards == 1` — chosen-mode
+/// dispatch only exists on the sequential engine). This is the entry point
+/// the exhaustive checker drives with an exploring chooser.
+pub fn run_case_with(
+    plan: &CasePlan,
+    shards: usize,
+    mut chooser: Option<&mut dyn neutrino_netsim::Chooser<SimMsg>>,
+) -> RunOutcome {
+    assert!(
+        chooser.is_none() || shards == 1,
+        "chosen-mode runs require the sequential engine"
+    );
     let mut config = config_by_name(&plan.system)
         .unwrap_or_else(|| panic!("unknown system `{}`", plan.system));
     let kind =
@@ -165,11 +215,27 @@ pub fn run_case(plan: &CasePlan) -> CheckReport {
             config = config.with_admission(AdmissionParams::for_rate(storm.admission_rate_pps));
         }
     }
-    // The workload: uniform-with-pool by default, or the plan's storm
-    // shape. `measured_start` anchors the chaos schedule (crash/partition
-    // times are relative to it) and `horizon` covers the traffic plus the
-    // drain margin.
+    // The workload: uniform-with-pool by default, the plan's storm shape,
+    // or — for small-model plans — the explicit arrival schedule verbatim.
+    // `measured_start` anchors the chaos schedule (crash/partition times
+    // are relative to it) and `horizon` covers the traffic plus the drain
+    // margin.
     let (workload, measured_start, horizon): (Workload, Instant, Duration) = match &plan.storm {
+        None if plan.small_model.is_some() => {
+            let sm = plan.small_model.as_ref().expect("checked");
+            let arrivals = sm
+                .arrivals
+                .iter()
+                .map(|a| Arrival {
+                    at: Instant::ZERO + Duration::from_micros(a.at_us),
+                    ue: UeId::new(a.ue),
+                    kind: kind_by_name(&a.kind)
+                        .unwrap_or_else(|| panic!("unknown procedure `{}`", a.kind)),
+                })
+                .collect();
+            let horizon = Duration::from_millis(plan.duration_ms + plan.drain_ms);
+            (Workload::from_vec(arrivals), Instant::ZERO, horizon)
+        }
         None => {
             let (w, measured_start) = uniform_with_pool(
                 UniformParams {
@@ -233,16 +299,34 @@ pub fn run_case(plan: &CasePlan) -> CheckReport {
         },
         ..LinkProfile::default()
     };
+    let layout = match &plan.small_model {
+        Some(sm) => {
+            let d = RegionLayout::default();
+            RegionLayout {
+                bss_per_region: sm.bss_per_region as usize,
+                cpfs_per_region: sm.cpfs_per_region as usize,
+                upfs_per_region: sm.upfs_per_region as usize,
+                // A replica set cannot exceed the pool that hosts it.
+                replicas: d
+                    .replicas
+                    .min((sm.cpfs_per_region as usize).saturating_sub(1))
+                    .max(1),
+                ..d
+            }
+        }
+        None => RegionLayout::default(),
+    };
     let mut cluster = Cluster::build_with_sim(
         config,
-        RegionLayout::default(),
+        layout,
         workload,
         UePopConfig::default(),
         links,
         SimConfig::for_horizon(horizon),
         plan.seed,
-        neutrino_core::experiment::shards(),
+        shards,
     );
+    let sharded = cluster.sim.is_sharded();
 
     // Chaos schedule: crash and partition times are relative to the
     // measured phase so shrinking the attach pool keeps them meaningful.
@@ -314,11 +398,17 @@ pub fn run_case(plan: &CasePlan) -> CheckReport {
         if pause >= horizon_end {
             break;
         }
-        cluster.run_until(pause);
+        match &mut chooser {
+            Some(c) => cluster.run_until_chosen(pause, &mut **c),
+            None => cluster.run_until(pause),
+        }
         passes += 1;
         run_pass(&mut cluster, &mut invariants, pause, false);
     }
-    cluster.run_until(horizon_end);
+    match &mut chooser {
+        Some(c) => cluster.run_until_chosen(horizon_end, &mut **c),
+        None => cluster.run_until(horizon_end),
+    }
     passes += 1;
     run_pass(&mut cluster, &mut invariants, horizon_end, true);
 
@@ -326,7 +416,7 @@ pub fn run_case(plan: &CasePlan) -> CheckReport {
     let cta = cluster.cta_metrics();
     let max_queue_depth = cluster.max_control_queue_depth() as u64;
     let results = cluster.take_results();
-    CheckReport {
+    let report = CheckReport {
         violations: recorded,
         passes,
         fingerprint: Fingerprint {
@@ -347,5 +437,6 @@ pub fn run_case(plan: &CasePlan) -> CheckReport {
             max_queue_depth,
             violations: total_violations,
         },
-    }
+    };
+    RunOutcome { report, sharded }
 }

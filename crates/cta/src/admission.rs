@@ -202,6 +202,25 @@ impl AdmissionControl {
     pub fn priority_evidence(&self) -> ([Option<u64>; 4], [Option<u64>; 4]) {
         (self.min_admit_tokens, self.max_shed_tokens)
     }
+
+    /// Test support: forge raw priority evidence for `class`. The public
+    /// [`AdmissionControl::decide`] path cannot produce an inverted
+    /// ladder (that is the property), so oracle kill-switch tests plant
+    /// the evidence directly.
+    pub fn force_priority_evidence(
+        &mut self,
+        class: AdmissionClass,
+        min_admit: Option<u64>,
+        max_shed: Option<u64>,
+    ) {
+        let idx = class.raw() as usize;
+        if min_admit.is_some() {
+            self.min_admit_tokens[idx] = min_admit;
+        }
+        if max_shed.is_some() {
+            self.max_shed_tokens[idx] = max_shed;
+        }
+    }
 }
 
 /// Check the `shed-priority-order` property against recorded evidence:

@@ -214,6 +214,19 @@ impl CtaCore {
         &self.log
     }
 
+    /// Mutable log access. Test harnesses use this to plant watermark
+    /// states that exercise oracle kill-switches; production drivers
+    /// never mutate the log from outside.
+    pub fn log_mut(&mut self) -> &mut MessageLog {
+        &mut self.log
+    }
+
+    /// Mutable admission-gate access (same test-support caveat as
+    /// [`CtaCore::log_mut`]).
+    pub fn admission_mut(&mut self) -> Option<&mut AdmissionControl> {
+        self.admission.as_mut()
+    }
+
     /// The sticky UE → primary assignments (consistency auditing).
     pub fn assignments(&self) -> &BTreeMap<UeId, CpfId> {
         &self.assigned

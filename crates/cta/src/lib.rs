@@ -21,4 +21,4 @@ pub mod log;
 
 pub use crate::core::{CtaConfig, CtaCore, CtaMetrics, CtaOutput, FailoverPolicy};
 pub use admission::{AdmissionControl, AdmissionDecision, AdmissionParams};
-pub use log::{MessageLog, ProcedureLog};
+pub use log::{set_replay_floor_bug, MessageLog, ProcedureLog};

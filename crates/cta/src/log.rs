@@ -10,6 +10,22 @@ use neutrino_common::time::Instant;
 use neutrino_common::{CpfId, ProcedureId, UeId};
 use neutrino_messages::Envelope;
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Test-only lever: when set, [`MessageLog::replay_covers`] reverts to its
+/// original contiguity-scan implementation — the bug the replay-floor
+/// rework fixed, where a *phantom* procedure id (consumed by a UE whose
+/// every message was lost before reaching this CTA) reads as a permanent,
+/// unclosable gap and wrongly fails coverage forever after. The exhaustive
+/// checker's seeded-bug regression test flips this to prove it can
+/// rediscover the violation; production code must never touch it.
+static REPLAY_FLOOR_BUG: AtomicBool = AtomicBool::new(false);
+
+/// Enables or disables the seeded `replay_covers` bug (see
+/// [`REPLAY_FLOOR_BUG`]). Test-only; affects every CTA in the process.
+pub fn set_replay_floor_bug(enabled: bool) {
+    REPLAY_FLOOR_BUG.store(enabled, Ordering::SeqCst);
+}
 
 /// Log of one procedure's messages and replication progress.
 #[derive(Debug, Clone)]
@@ -272,6 +288,19 @@ impl MessageLog {
             Some(l) => l,
             None => return false,
         };
+        if REPLAY_FLOOR_BUG.load(Ordering::Relaxed) {
+            // Seeded-bug mode: the pre-fix contiguity scan. Phantom ids —
+            // consumed by the UE but never logged here — read as gaps and
+            // poison coverage permanently.
+            let mut need = since.raw() + 1;
+            while need <= ue_log.last_completed.raw() {
+                if !ue_log.procedures.contains_key(&ProcedureId(need)) {
+                    return false;
+                }
+                need += 1;
+            }
+            return true;
+        }
         since >= ue_log.replay_floor
             || ue_log
                 .procedures

@@ -3,21 +3,25 @@
 //! Every `Invariant` implementation (in `neutrino-core/src/oracle.rs` and
 //! `crates/check/src/invariants.rs`) must be (a) listed in
 //! `ALL_INVARIANTS`, (b) registered — by its catalog-name string literal —
-//! in at least one scenario family in `crates/check/src/scenario.rs`, and
-//! (c) documented by name in TESTING.md. A new invariant that is
-//! implemented but never scheduled would otherwise silently check nothing.
+//! in at least one scenario family in `crates/check/src/scenario.rs`,
+//! (c) documented by name in TESTING.md, and (d) exercised by name in the
+//! kill-switch suite (`crates/check/tests/invariant_killswitch.rs`) — a
+//! test that proves the invariant *can* fire. A new invariant that is
+//! implemented but never scheduled, or scheduled but unfalsifiable, would
+//! otherwise silently check nothing.
 
 use crate::findings::Finding;
 use crate::lexer::{lex, TokKind, Token};
 
 const RULE: &str = "invariant-coverage";
 
-/// Inputs are (path label, source text) pairs for the four files involved.
+/// Inputs are (path label, source text) pairs for the five files involved.
 pub fn check(
     oracle: (&str, &str),
     invariants: (&str, &str),
     scenario: (&str, &str),
     testing_md: (&str, &str),
+    killswitch: (&str, &str),
 ) -> Vec<Finding> {
     let mut findings = Vec::new();
     let oracle_lex = lex(oracle.1);
@@ -48,6 +52,8 @@ pub fn check(
     let all = slice_names(&inv_lex.tokens, "ALL_INVARIANTS", &consts);
     // Scenario registration: the name must appear as a string literal.
     let scenario_lits = string_literals(&lex(scenario.1).tokens);
+    // Kill-switch coverage: same string-literal rule for the test suite.
+    let killswitch_lits = string_literals(&lex(killswitch.1).tokens);
 
     for (file, name, line) in &impls {
         if !all.contains(name) {
@@ -72,6 +78,17 @@ pub fn check(
                 line: *line,
                 rule: RULE.into(),
                 message: format!("invariant \"{name}\" is not documented in {}", testing_md.0),
+            });
+        }
+        if !killswitch_lits.contains(name) {
+            findings.push(Finding {
+                file: file.clone(),
+                line: *line,
+                rule: RULE.into(),
+                message: format!(
+                    "invariant \"{name}\" has no kill-switch test in {}",
+                    killswitch.0
+                ),
             });
         }
     }
@@ -263,9 +280,29 @@ impl Invariant for L { fn name(&self) -> &'static str { LOST } }
 const NEUTRINO_INVARIANTS: &[&str] = &["consistency", "no-lost"];
 "#;
     const TESTING: &str = "The `consistency` and `no-lost` invariants are checked.";
+    const KILLSWITCH: &str = r#"
+fn kill_switch_consistency() { invariant_by_name("consistency"); }
+fn kill_switch_no_lost() { invariant_by_name("no-lost"); }
+"#;
 
     fn run(oracle: &str, invs: &str, scen: &str, md: &str) -> Vec<Finding> {
-        check(("o.rs", oracle), ("i.rs", invs), ("s.rs", scen), ("TESTING.md", md))
+        run_with_killswitch(oracle, invs, scen, md, KILLSWITCH)
+    }
+
+    fn run_with_killswitch(
+        oracle: &str,
+        invs: &str,
+        scen: &str,
+        md: &str,
+        ks: &str,
+    ) -> Vec<Finding> {
+        check(
+            ("o.rs", oracle),
+            ("i.rs", invs),
+            ("s.rs", scen),
+            ("TESTING.md", md),
+            ("ks.rs", ks),
+        )
     }
 
     #[test]
@@ -302,5 +339,14 @@ const NEUTRINO_INVARIANTS: &[&str] = &["consistency", "no-lost"];
         let invs = INVS.replace("impl Invariant for L { fn name(&self) -> &'static str { LOST } }", "");
         let f = run(ORACLE, &invs, SCENARIO, TESTING);
         assert!(f.iter().any(|x| x.message.contains("no impl Invariant resolves")), "{f:?}");
+    }
+
+    #[test]
+    fn missing_kill_switch_fails() {
+        let ks = r#"fn kill_switch_consistency() { invariant_by_name("consistency"); }"#;
+        let f = run_with_killswitch(ORACLE, INVS, SCENARIO, TESTING, ks);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("no kill-switch test"));
+        assert!(f[0].message.contains("no-lost"));
     }
 }

@@ -99,6 +99,7 @@ pub fn lint_workspace(root: &Path) -> Result<Vec<Finding>, String> {
         root.join("crates/check/src/invariants.rs"),
         root.join("crates/check/src/scenario.rs"),
         root.join("TESTING.md"),
+        root.join("crates/check/tests/invariant_killswitch.rs"),
     ];
     let mut texts = Vec::new();
     for p in &paths {
@@ -109,6 +110,7 @@ pub fn lint_workspace(root: &Path) -> Result<Vec<Finding>, String> {
         (&rel_label(root, &paths[1]), &texts[1]),
         (&rel_label(root, &paths[2]), &texts[2]),
         (&rel_label(root, &paths[3]), &texts[3]),
+        (&rel_label(root, &paths[4]), &texts[4]),
     ));
 
     // The grandfathered-site allowlist, audited for staleness.

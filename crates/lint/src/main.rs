@@ -4,7 +4,7 @@
 //! cargo run -p neutrino-lint --                      # lint the whole workspace
 //! neutrino-lint --check-file <file.rs>               # determinism rules on one file
 //! neutrino-lint --wire <sysmsg.rs> <framing.rs>      # wire-contract rules on two files
-//! neutrino-lint --coverage <oracle> <invs> <scen> <testing.md>
+//! neutrino-lint --coverage <oracle> <invs> <scen> <testing.md> <killswitch.rs>
 //! ```
 //!
 //! Exit code 0 = clean, 1 = findings, 2 = usage/IO error. The single-file
@@ -21,10 +21,10 @@ fn main() -> ExitCode {
         None => workspace(),
         Some("--check-file") if args.len() == 2 => check_file(&args[1]),
         Some("--wire") if args.len() == 3 => wire(&args[1], &args[2]),
-        Some("--coverage") if args.len() == 5 => coverage(&args[1..5]),
+        Some("--coverage") if args.len() == 6 => coverage(&args[1..6]),
         Some("--help" | "-h") => {
             eprintln!(
-                "usage: neutrino-lint [--check-file FILE | --wire SYSMSG FRAMING | --coverage ORACLE INVARIANTS SCENARIO TESTING_MD]"
+                "usage: neutrino-lint [--check-file FILE | --wire SYSMSG FRAMING | --coverage ORACLE INVARIANTS SCENARIO TESTING_MD KILLSWITCH]"
             );
             return ExitCode::SUCCESS;
         }
@@ -76,5 +76,6 @@ fn coverage(paths: &[String]) -> Result<Vec<Finding>, String> {
         (&paths[1], &texts[1]),
         (&paths[2], &texts[2]),
         (&paths[3], &texts[3]),
+        (&paths[4], &texts[4]),
     ))
 }

@@ -1,0 +1,7 @@
+// Fixture kill-switch suite: every catalog invariant fires by name.
+fn kill_switch_consistency() {
+    invariant_by_name("consistency");
+}
+fn kill_switch_no_lost_procedure() {
+    invariant_by_name("no-lost-procedure");
+}

@@ -1,0 +1,4 @@
+// Fixture kill-switch suite missing one invariant.
+fn kill_switch_consistency() {
+    invariant_by_name("consistency");
+}

@@ -94,6 +94,7 @@ fn coverage_fixtures() {
         ("i.rs", &invs),
         ("s.rs", &read("cov_scenario_good.rs")),
         ("t.md", &read("cov_testing_good.md")),
+        ("k.rs", &read("cov_killswitch_good.rs")),
     );
     assert!(good.is_empty(), "{good:?}");
 
@@ -102,6 +103,7 @@ fn coverage_fixtures() {
         ("i.rs", &invs),
         ("s.rs", &read("cov_scenario_missing.rs")),
         ("t.md", &read("cov_testing_good.md")),
+        ("k.rs", &read("cov_killswitch_good.rs")),
     );
     assert!(
         unregistered.iter().any(|f| f.message.contains("not registered in any scenario")),
@@ -113,10 +115,23 @@ fn coverage_fixtures() {
         ("i.rs", &invs),
         ("s.rs", &read("cov_scenario_good.rs")),
         ("t.md", &read("cov_testing_missing.md")),
+        ("k.rs", &read("cov_killswitch_good.rs")),
     );
     assert!(
         undocumented.iter().any(|f| f.message.contains("not documented")),
         "{undocumented:?}"
+    );
+
+    let unfalsifiable = neutrino_lint::coverage::check(
+        ("o.rs", &oracle),
+        ("i.rs", &invs),
+        ("s.rs", &read("cov_scenario_good.rs")),
+        ("t.md", &read("cov_testing_good.md")),
+        ("k.rs", &read("cov_killswitch_missing.rs")),
+    );
+    assert!(
+        unfalsifiable.iter().any(|f| f.message.contains("no kill-switch test")),
+        "{unfalsifiable:?}"
     );
 }
 
@@ -165,6 +180,7 @@ fn binary_exits_nonzero_on_wire_and_coverage_fixtures() {
         &fx("cov_invariants.rs"),
         &fx("cov_scenario_missing.rs"),
         &fx("cov_testing_good.md"),
+        &fx("cov_killswitch_good.rs"),
     ]);
     assert_eq!(status.code(), Some(1), "missing scenario registration must exit 1");
     let status = run_bin(&[
@@ -173,6 +189,16 @@ fn binary_exits_nonzero_on_wire_and_coverage_fixtures() {
         &fx("cov_invariants.rs"),
         &fx("cov_scenario_good.rs"),
         &fx("cov_testing_good.md"),
+        &fx("cov_killswitch_missing.rs"),
+    ]);
+    assert_eq!(status.code(), Some(1), "missing kill-switch test must exit 1");
+    let status = run_bin(&[
+        "--coverage",
+        &fx("cov_oracle.rs"),
+        &fx("cov_invariants.rs"),
+        &fx("cov_scenario_good.rs"),
+        &fx("cov_testing_good.md"),
+        &fx("cov_killswitch_good.rs"),
     ]);
     assert_eq!(status.code(), Some(0));
 }

@@ -362,6 +362,10 @@ pub struct Sim<M> {
     /// Sharded-window interception state; `None` for every sequential
     /// engine (see [`WindowState`]).
     window: Option<Box<WindowState<M>>>,
+    /// Chosen-mode bookkeeping (state-hash chains, delivery count);
+    /// `None` until the first [`Sim::run_until_chosen`] call, so plain
+    /// runs carry no instrumentation cost.
+    choice: Option<Box<crate::choice::ChoiceState>>,
 }
 
 impl<M: Clone + 'static> Sim<M> {
@@ -392,6 +396,7 @@ impl<M: Clone + 'static> Sim<M> {
             dropped_unroutable: 0,
             scratch: Outbox::default(),
             window: None,
+            choice: None,
         }
     }
 
@@ -907,6 +912,170 @@ impl<M: Clone + 'static> Sim<M> {
     /// exactly what the previous one did.
     pub fn next_event_at(&self) -> Option<Instant> {
         self.queue.min_key().map(|k| k.at)
+    }
+
+    /// Runs until the event queue drains or `deadline` passes, consulting
+    /// `chooser` whenever ≥2 deliveries are simultaneously enabled at the
+    /// same tick. With [`crate::IdentityChooser`] this dispatches the
+    /// exact `(at, seq)` stream of [`Sim::run_until`]: the identity pick
+    /// is always the lowest-seq staged delivery, non-delivery events run
+    /// whenever they head the staging buffer (i.e. in seq order), and
+    /// same-tick pushes join the staging buffer with strictly larger seq,
+    /// exactly where the wheel would have popped them.
+    ///
+    /// A chooser may also run a delivery *across* a staged non-delivery
+    /// event (delivering before vs. after a same-tick crash is a
+    /// meaningful ordering); [`crate::ChoiceCtx::barrier`] flags such
+    /// choice points so a pruning policy can treat them as dependent.
+    ///
+    /// Not available on windowed (sharded) engines.
+    pub fn run_until_chosen(
+        &mut self,
+        deadline: Instant,
+        chooser: &mut dyn crate::Chooser<M>,
+    ) -> Instant {
+        assert!(
+            self.window.is_none(),
+            "run_until_chosen requires the sequential engine"
+        );
+        if self.choice.is_none() {
+            self.choice = Some(Box::new(crate::choice::ChoiceState::new(self.nodes.len())));
+        }
+        // One tick's events, kept in ascending seq order (wheel pop order;
+        // same-tick pushes always carry a strictly larger seq).
+        let mut staging: Vec<(SchedKey, EventKind<M>)> = Vec::new();
+        while let Some(head) = self.queue.peek_key() {
+            if head.at > deadline {
+                break;
+            }
+            let tick = head.at;
+            debug_assert!(tick >= self.now, "time went backwards");
+            self.now = tick;
+            while self.queue.peek_key().is_some_and(|k| k.at == tick) {
+                staging.push(self.queue.pop().expect("peeked"));
+            }
+            while !staging.is_empty() {
+                let idx = self.choose_staged(tick, &staging, chooser);
+                let (key, kind) = staging.remove(idx);
+                self.events_processed += 1;
+                if self.events_processed > self.config.max_events {
+                    self.panic_event_budget(tick);
+                }
+                self.note_chosen_dispatch(&kind, key.seq, tick);
+                self.dispatch(kind);
+                // Zero-delay effects land at this same tick; merge them so
+                // later choices at this tick see them as enabled.
+                while self.queue.peek_key().is_some_and(|k| k.at == tick) {
+                    let ev = self.queue.pop().expect("peeked");
+                    debug_assert!(
+                        staging.last().is_none_or(|(k, _)| k.seq < ev.0.seq),
+                        "same-tick push with non-monotone seq"
+                    );
+                    staging.push(ev);
+                }
+            }
+        }
+        self.now
+    }
+
+    /// Picks the staging index to dispatch next. Non-delivery events run
+    /// in seq order whenever one heads the buffer; otherwise the choice
+    /// set is every staged delivery, and the chooser is consulted only
+    /// when there are at least two.
+    fn choose_staged(
+        &self,
+        tick: Instant,
+        staging: &[(SchedKey, EventKind<M>)],
+        chooser: &mut dyn crate::Chooser<M>,
+    ) -> usize {
+        if !matches!(staging[0].1, EventKind::Deliver { .. }) {
+            return 0;
+        }
+        let mut enabled: Vec<crate::Enabled<'_, M>> = Vec::new();
+        let mut positions: Vec<usize> = Vec::new();
+        for (i, (key, kind)) in staging.iter().enumerate() {
+            if let EventKind::Deliver { to, from, msg } = kind {
+                enabled.push(crate::Enabled {
+                    seq: key.seq,
+                    from: *from,
+                    to: *to,
+                    msg,
+                });
+                positions.push(i);
+            }
+        }
+        if enabled.len() < 2 {
+            return 0; // the head is the only enabled delivery
+        }
+        let st = self.choice.as_ref().expect("chosen mode");
+        let ctx = crate::ChoiceCtx {
+            now: tick,
+            deliveries: st.deliveries,
+            state_hash: self.choice_state_hash(),
+            barrier: enabled.len() != staging.len(),
+        };
+        let pick = chooser.choose(&ctx, &enabled);
+        assert!(
+            pick < enabled.len(),
+            "chooser returned {pick} for {} enabled deliveries",
+            enabled.len()
+        );
+        positions[pick]
+    }
+
+    /// Folds one about-to-dispatch event into the chosen-mode state hash
+    /// and delivery counter.
+    fn note_chosen_dispatch(&mut self, kind: &EventKind<M>, seq: u64, tick: Instant) {
+        let slot = self.slot(kind.target());
+        let st = self.choice.as_mut().expect("chosen mode");
+        if matches!(kind, EventKind::Deliver { .. }) {
+            st.deliveries += 1;
+        }
+        let Some(slot) = slot else { return };
+        if st.chains.len() <= slot {
+            st.chains.resize(slot + 1, 0);
+        }
+        // Message payloads are deliberately not hashed: under a
+        // deterministic protocol they are a function of the per-node
+        // arrival histories the chains already encode, and hashing them
+        // would demand `M: Hash` of every node implementation. The
+        // scheduling `seq` stands in for message identity instead — it is
+        // unique per event and, being assigned at push time, identical
+        // across replays of the same prefix, so reordering two deliveries
+        // that share (source, destination, tick) still changes the chain.
+        let (tag, detail) = match kind {
+            EventKind::Deliver { from, .. } => (1u64, from.raw()),
+            EventKind::JobComplete { .. } => (2, 0),
+            EventKind::Timer { id, .. } => (3, *id),
+            EventKind::Crash { .. } => (4, 0),
+            EventKind::Recover { .. } => (5, 0),
+        };
+        use crate::choice::mix64;
+        let c = &mut st.chains[slot];
+        *c = mix64(mix64(mix64(mix64(*c ^ tag) ^ detail) ^ seq) ^ tick.as_nanos());
+    }
+
+    /// Order-canonical hash of the chosen-mode dispatch history: each
+    /// node's events are chained in their dispatch order, but chains of
+    /// *different* nodes combine commutatively, so two interleavings that
+    /// only permute deliveries to independent nodes hash identically — the
+    /// property a visited-state set needs to merge equivalent states. Two
+    /// *different* states may also collide (this is approximate, bitstate
+    /// style); a checker using it for pruning trades a sliver of coverage
+    /// for a tractable frontier, never soundness of reported violations.
+    ///
+    /// Zero until the first `run_until_chosen` call; plain `run_until`
+    /// dispatches are not recorded.
+    pub fn choice_state_hash(&self) -> u64 {
+        use crate::choice::mix64;
+        let Some(st) = &self.choice else { return 0 };
+        let mut h = mix64(st.deliveries ^ 0x6E75_6D64_656C_6976) ^ mix64(self.now.as_nanos());
+        for (slot, &c) in st.chains.iter().enumerate() {
+            if c != 0 {
+                h ^= mix64(c ^ (slot as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            }
+        }
+        h
     }
 }
 

@@ -28,12 +28,14 @@
 #![warn(missing_docs)]
 
 pub mod alloc_count;
+pub mod choice;
 pub mod engine;
 pub mod links;
 pub mod shard;
 pub mod stats;
 pub mod wheel;
 
+pub use choice::{ChoiceCtx, Chooser, Enabled, IdentityChooser};
 pub use engine::{Node, NodeEvent, NodeId, Outbox, Sim, SimConfig};
 pub use shard::ShardedSim;
 pub use links::{Delivery, FaultSpec, LinkSpec, Links};

@@ -281,6 +281,31 @@ impl<M: Clone + Send + 'static> ShardedSim<M> {
         self.run_until(Instant::FAR_FUTURE)
     }
 
+    /// Chosen-mode run (see [`Sim::run_until_chosen`]). Interleaving
+    /// choice needs the one global event stream only the sequential
+    /// engine has, so this panics on a sharded engine — a checker must
+    /// build its cluster at `shards = 1`.
+    pub fn run_until_chosen(
+        &mut self,
+        deadline: Instant,
+        chooser: &mut dyn crate::Chooser<M>,
+    ) -> Instant {
+        match &mut self.mode {
+            Mode::Sequential(sim) => sim.run_until_chosen(deadline, chooser),
+            Mode::Sharded(_) => panic!("run_until_chosen requires shards = 1"),
+        }
+    }
+
+    /// Order-canonical chosen-mode state hash (see
+    /// [`Sim::choice_state_hash`]); zero for sharded engines, which never
+    /// enter chosen mode.
+    pub fn choice_state_hash(&self) -> u64 {
+        match &self.mode {
+            Mode::Sequential(sim) => sim.choice_state_hash(),
+            Mode::Sharded(_) => 0,
+        }
+    }
+
     /// Current virtual time (last dispatched event).
     pub fn now(&self) -> Instant {
         match &self.mode {

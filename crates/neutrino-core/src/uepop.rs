@@ -242,6 +242,13 @@ impl UePopulation {
         &self.results
     }
 
+    /// Mutable access to results. Test harnesses use this to plant
+    /// counter states that exercise oracle kill-switches; production
+    /// drivers never need it.
+    pub fn results_mut(&mut self) -> &mut UePopResults {
+        &mut self.results
+    }
+
     /// Number of procedures currently in flight.
     pub fn active_count(&self) -> usize {
         self.active.len()

@@ -354,6 +354,12 @@ impl Deserialize for String {
 
 impl<T: Deserialize> Deserialize for Vec<T> {
     fn from_value(v: &Value) -> Result<Self, DeError> {
+        // Missing struct fields arrive as Null (see `__field`); treat them
+        // as empty, like real serde's `#[serde(default)]`, so adding a Vec
+        // field to a struct keeps older serialized forms parseable.
+        if matches!(v, Value::Null) {
+            return Ok(Vec::new());
+        }
         let seq = v.as_seq().ok_or_else(|| DeError::new("expected array"))?;
         seq.iter().map(T::from_value).collect()
     }
