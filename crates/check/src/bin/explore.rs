@@ -4,6 +4,7 @@
 //! explore --scenario failover --seeds 500 --jobs 8
 //! explore --scenario all --seeds 1000 --corpus corpus-out
 //! explore --exhaustive --scenario mcheck-attach-failover --bound 12
+//! explore --flow-coverage --seeds 5 --json coverage.json
 //! explore --replay crates/check/corpus/failover-seed17.json
 //! explore --list
 //! ```
@@ -24,6 +25,7 @@
 
 use neutrino_bench::sweep::run_cells_with;
 use neutrino_check::corpus::{self, CorpusCase};
+use neutrino_check::flowcov::{self, CoverageReport};
 use neutrino_check::run::{run_case, CheckReport};
 use neutrino_check::scenario::{plan_by_name, CasePlan, Scenario, SMALL_MODEL_NAMES};
 use neutrino_check::shrink::shrink;
@@ -42,6 +44,7 @@ struct Args {
     replay: Option<PathBuf>,
     list: bool,
     exhaustive: bool,
+    flow_coverage: bool,
     bound: usize,
     max_paths: u64,
     json: Option<PathBuf>,
@@ -49,7 +52,7 @@ struct Args {
 
 const USAGE: &str = "usage: explore [--scenario NAME|all] [--seeds N] [--start-seed S] \
 [--jobs J] [--shards S] [--corpus DIR] [--shrink-budget R] [--replay FILE] [--list] \
-[--exhaustive] [--bound B] [--max-paths P] [--json FILE]";
+[--exhaustive] [--flow-coverage] [--bound B] [--max-paths P] [--json FILE]";
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
@@ -63,6 +66,7 @@ fn parse_args() -> Result<Args, String> {
         replay: None,
         list: false,
         exhaustive: false,
+        flow_coverage: false,
         bound: McheckOptions::default().bound,
         max_paths: McheckOptions::default().max_paths,
         json: None,
@@ -99,6 +103,7 @@ fn parse_args() -> Result<Args, String> {
             "--replay" => args.replay = Some(PathBuf::from(value("--replay")?)),
             "--list" => args.list = true,
             "--exhaustive" => args.exhaustive = true,
+            "--flow-coverage" => args.flow_coverage = true,
             "--bound" => {
                 args.bound = value("--bound")?.parse().map_err(|e| format!("--bound: {e}"))?
             }
@@ -306,6 +311,78 @@ fn run_exhaustive(args: &Args, corpus_dir: &std::path::Path) -> ExitCode {
     }
 }
 
+/// Sweeps scenario families with a delivery tap installed and diffs the
+/// witnessed `(variant, src, dst)` edges against the declared flow
+/// registry. Witness sets are unioned, so the report is byte-identical
+/// across reruns and any `--jobs` value. Exit is non-zero only on
+/// witnessed-but-undeclared edges (spec drift); dead declared edges are
+/// advisory.
+fn run_flow_coverage(args: &Args, jobs: usize) -> ExitCode {
+    let scenarios: Vec<Scenario> = if args.scenario == "all" {
+        flowcov::CORE_SCENARIOS
+            .iter()
+            .map(|n| Scenario::by_name(n).expect("core scenario exists"))
+            .collect()
+    } else {
+        match Scenario::by_name(&args.scenario) {
+            Some(s) => vec![s],
+            None => {
+                eprintln!("error: unknown scenario `{}` (try --list)", args.scenario);
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+    let names: Vec<String> = scenarios.iter().map(|s| s.name.to_string()).collect();
+    println!(
+        "flow coverage: {} scenario(s) x {} seed(s), {jobs} job(s)",
+        names.len(),
+        args.seeds
+    );
+    let cells = scenarios
+        .iter()
+        .flat_map(|s| {
+            (args.start_seed..args.start_seed + args.seeds).map(|seed| {
+                let s = s.clone();
+                Box::new(move || flowcov::witness_case(&s, seed))
+                    as Box<dyn FnOnce() -> std::collections::BTreeSet<flowcov::Edge> + Send>
+            })
+        })
+        .collect();
+    let t0 = std::time::Instant::now();
+    let mut witnessed = std::collections::BTreeSet::new();
+    for set in run_cells_with(jobs, cells) {
+        witnessed.extend(set);
+    }
+    let report = CoverageReport::diff(names, args.seeds, &witnessed);
+    println!(
+        "  {} declared, {} witnessed, {} dead declared, {} undeclared witnessed, {:.1}s wall",
+        report.declared.len(),
+        report.witnessed.len(),
+        report.dead_declared.len(),
+        report.undeclared_witnessed.len(),
+        t0.elapsed().as_secs_f64()
+    );
+    for e in &report.dead_declared {
+        println!("  dead declared (advisory): {} {} -> {}", e.variant, e.src, e.dst);
+    }
+    for e in &report.undeclared_witnessed {
+        println!("  UNDECLARED witnessed: {} {} -> {}", e.variant, e.src, e.dst);
+    }
+    if let Some(path) = &args.json {
+        if let Err(e) = std::fs::write(path, report.to_json()) {
+            eprintln!("error: writing {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    }
+    if report.is_clean() {
+        println!("  clean: every witnessed edge is declared");
+        ExitCode::SUCCESS
+    } else {
+        println!("  FAILED: witnessed edges missing from the flow registry");
+        ExitCode::FAILURE
+    }
+}
+
 fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(a) => a,
@@ -324,6 +401,14 @@ fn main() -> ExitCode {
     neutrino_core::experiment::set_shards(args.shards);
     if let Some(path) = &args.replay {
         return replay(path);
+    }
+    if args.flow_coverage {
+        let jobs = if args.jobs == 0 {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        } else {
+            args.jobs
+        };
+        return run_flow_coverage(&args, jobs);
     }
     if args.exhaustive {
         if args.scenario == "all" {

@@ -35,6 +35,7 @@
 #![warn(missing_docs)]
 
 pub mod corpus;
+pub mod flowcov;
 pub mod invariants;
 pub mod mcheck;
 pub mod run;

@@ -193,6 +193,11 @@ pub fn run_case_sharded(plan: &CasePlan, shards: usize) -> RunOutcome {
     }
 }
 
+/// A delivery witness for flow-coverage runs: `(from, to, &msg)` for every
+/// message the engine actually enqueues (see
+/// [`neutrino_netsim::Sim::set_delivery_tap`]).
+pub type DeliveryTap = neutrino_netsim::DeliveryTap<SimMsg>;
+
 /// The full checker: one plan, an explicit shard count, and an optional
 /// interleaving chooser (which requires `shards == 1` — chosen-mode
 /// dispatch only exists on the sequential engine). This is the entry point
@@ -200,11 +205,32 @@ pub fn run_case_sharded(plan: &CasePlan, shards: usize) -> RunOutcome {
 pub fn run_case_with(
     plan: &CasePlan,
     shards: usize,
+    chooser: Option<&mut dyn neutrino_netsim::Chooser<SimMsg>>,
+) -> RunOutcome {
+    run_case_impl(plan, shards, chooser, None)
+}
+
+/// [`run_case_with`] on the sequential engine with a delivery tap
+/// installed: the tap observes every enqueued message without perturbing
+/// the event stream (`explore --flow-coverage` records witnessed protocol
+/// flow edges this way).
+pub fn run_case_witnessed(plan: &CasePlan, tap: DeliveryTap) -> RunOutcome {
+    run_case_impl(plan, 1, None, Some(tap))
+}
+
+fn run_case_impl(
+    plan: &CasePlan,
+    shards: usize,
     mut chooser: Option<&mut dyn neutrino_netsim::Chooser<SimMsg>>,
+    tap: Option<DeliveryTap>,
 ) -> RunOutcome {
     assert!(
         chooser.is_none() || shards == 1,
         "chosen-mode runs require the sequential engine"
+    );
+    assert!(
+        tap.is_none() || shards == 1,
+        "delivery-tap runs require the sequential engine"
     );
     let mut config = config_by_name(&plan.system)
         .unwrap_or_else(|| panic!("unknown system `{}`", plan.system));
@@ -327,6 +353,9 @@ pub fn run_case_with(
         shards,
     );
     let sharded = cluster.sim.is_sharded();
+    if let Some(tap) = tap {
+        cluster.sim.set_delivery_tap(tap);
+    }
 
     // Chaos schedule: crash and partition times are relative to the
     // measured phase so shrinking the attach pool keeps them meaningful.

@@ -164,6 +164,10 @@ pub struct CpfMetrics {
     /// Duplicate uplinks that triggered a lost-downlink recovery (re-sent
     /// the pending S11 / migration sync / downlink steps).
     pub dup_uplink_nudges: u64,
+    /// `SysMsg` variants delivered to this CPF that the flow contract says
+    /// it never receives (misrouted traffic — counted, never silently
+    /// swallowed; the flow lint pins the expected set).
+    pub unexpected_msgs: u64,
 }
 
 /// What the CPF is waiting on before continuing a procedure.
@@ -286,8 +290,9 @@ impl CpfCore {
             SysMsg::MigrationAck { ue } => self.on_migration_ack(ue),
             SysMsg::ResyncRequest { ue, procedure, cta } => self.on_resync(ue, procedure, cta),
             SysMsg::CpfFailure { cpf } => self.on_peer_failure(cpf),
-            other => {
-                debug_assert!(false, "CPF received unexpected {}", other.label());
+            // lint-allow(flow-wildcard): counted — a misrouted SysMsg increments unexpected_msgs instead of vanishing
+            _ => {
+                self.metrics.unexpected_msgs += 1;
                 Vec::new()
             }
         }
@@ -1579,5 +1584,15 @@ mod tests {
             _ => None,
         });
         assert_eq!(s11.expect("modify").op, SessionOp::Modify);
+    }
+
+    #[test]
+    fn misrouted_sysmsg_is_counted_not_swallowed() {
+        let mut cpf = neutrino_cpf(0);
+        // The flow contract says a CPF never receives AskReAttach (it is a
+        // CTA→UE-pop message) — it must land in the counter, not vanish.
+        let outs = cpf.handle(SysMsg::AskReAttach { ue: UeId::new(7) });
+        assert!(outs.is_empty());
+        assert_eq!(cpf.metrics().unexpected_msgs, 1);
     }
 }

@@ -145,6 +145,10 @@ pub struct CtaMetrics {
     pub breaker_opened: u64,
     /// Resync chases suppressed by an open breaker.
     pub breaker_suppressed: u64,
+    /// `SysMsg` variants delivered to this CTA that the flow contract says
+    /// it never receives (misrouted traffic — counted, never silently
+    /// swallowed; the flow lint pins the expected set).
+    pub unexpected_msgs: u64,
 }
 
 /// The Control Traffic Aggregator state machine.
@@ -302,8 +306,9 @@ impl CtaCore {
                     msg: SysMsg::AskReAttach { ue },
                 }]
             }
-            other => {
-                debug_assert!(false, "CTA received unexpected {}", other.label());
+            // lint-allow(flow-wildcard): counted — a misrouted SysMsg increments unexpected_msgs instead of vanishing
+            _ => {
+                self.metrics.unexpected_msgs += 1;
                 Vec::new()
             }
         }
@@ -1400,5 +1405,15 @@ mod tests {
                 if *bs == BsId::new(9) && e.clock > ClockTick::ZERO
         ));
         assert_eq!(c.metrics().forwarded_downlink, 1);
+    }
+
+    #[test]
+    fn misrouted_sysmsg_is_counted_not_swallowed() {
+        let mut c = cta();
+        // The flow contract says a CTA never receives MigrationAck (it is a
+        // CPF→CPF message) — it must land in the counter, not vanish.
+        let outs = c.handle(SysMsg::MigrationAck { ue: UeId::new(7) }, Instant::ZERO);
+        assert!(outs.is_empty());
+        assert_eq!(c.metrics().unexpected_msgs, 1);
     }
 }

@@ -12,10 +12,10 @@
 //! (`stale-allow` / `stale-allowlist`): the contract tightens monotonically.
 
 use crate::lexer::Comment;
-use serde::Deserialize;
+use serde::{Deserialize, Serialize};
 
 /// One lint finding.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize)]
 pub struct Finding {
     /// Path as reported (workspace-relative where possible).
     pub file: String,

@@ -14,6 +14,10 @@
 //! 3. **Harness-coverage rules** ([`coverage`]): every `Invariant` impl must
 //!    be in `ALL_INVARIANTS`, registered in a scenario family, and named in
 //!    TESTING.md.
+//! 4. **Protocol-flow rules** ([`flow`]): every `SysMsg` send site and
+//!    `handle()` match arm must agree with the declared flow registry
+//!    (`messages/src/flow.rs`) — no undeclared senders, missing handler
+//!    arms, dead arms, orphan variants, or silent wildcard arms.
 //!
 //! Suppressions are inline `// lint-allow(<rule>): <reason>` comments or
 //! `crates/lint/allowlist.json`; both are audited for staleness (see
@@ -27,6 +31,7 @@
 pub mod coverage;
 pub mod determinism;
 pub mod findings;
+pub mod flow;
 pub mod lexer;
 pub mod wire;
 
@@ -66,17 +71,76 @@ pub fn lint_source(label: &str, src: &str) -> Vec<Finding> {
 /// Lint the whole workspace rooted at `root`. Returns findings sorted by
 /// (file, line, rule); empty means the tree is clean.
 pub fn lint_workspace(root: &Path) -> Result<Vec<Finding>, String> {
+    Ok(lint_workspace_full(root)?.1)
+}
+
+/// Lint the whole workspace and also return the static protocol-flow graph
+/// (the payload of `neutrino-lint --flow-graph`). Findings are sorted by
+/// (file, line, rule).
+pub fn lint_workspace_full(root: &Path) -> Result<(flow::FlowGraph, Vec<Finding>), String> {
     let mut all = Vec::new();
 
-    // Family 1: determinism over the sans-IO crates.
+    // Read every sans-IO source file once; families 1 (determinism) and 4
+    // (protocol flow) share the set, and their findings go through one
+    // inline-allow application per file so a `lint-allow(flow-wildcard)`
+    // is usable (and auditable for staleness) like any other rule.
+    let mut sources: Vec<(String, String)> = Vec::new();
     for krate in SANS_IO_CRATES {
         let src_dir = root.join("crates").join(krate).join("src");
         for file in rust_files(&src_dir)? {
             let src = fs::read_to_string(&file)
                 .map_err(|e| format!("{}: {e}", file.display()))?;
-            let label = rel_label(root, &file);
-            all.extend(lint_source(&label, &src));
+            sources.push((rel_label(root, &file), src));
         }
+    }
+
+    // Family 4: protocol flow (graph + raw findings, grouped per file).
+    let sysmsg_label = "crates/messages/src/sysmsg.rs".to_string();
+    let flow_label = "crates/messages/src/flow.rs".to_string();
+    let find_src = |label: &str| -> Result<&str, String> {
+        sources
+            .iter()
+            .find(|(l, _)| l == label)
+            .map(|(_, s)| s.as_str())
+            .ok_or_else(|| format!("{label}: missing from the sans-IO source set"))
+    };
+    let flow_files: Vec<flow::FlowFile> = sources
+        .iter()
+        .map(|(label, src)| {
+            let (role, handler) = flow::classify(label);
+            flow::FlowFile {
+                label: label.clone(),
+                src: src.clone(),
+                role: role.map(String::from),
+                handler,
+            }
+        })
+        .collect();
+    let (graph, flow_raw) = flow::check(
+        (&sysmsg_label, find_src(&sysmsg_label)?),
+        (&flow_label, find_src(&flow_label)?),
+        &flow_files,
+    );
+    let mut flow_by_file: std::collections::BTreeMap<String, Vec<Finding>> = Default::default();
+    for f in flow_raw {
+        flow_by_file.entry(f.file.clone()).or_default().push(f);
+    }
+
+    // Families 1 + 4, with one allow application per file.
+    for (label, src) in &sources {
+        let lexed = lexer::lex(src);
+        let tokens = determinism::strip_test_mods(&lexed.tokens);
+        let mut raw = determinism::check(label, &tokens);
+        raw.extend(flow_by_file.remove(label).unwrap_or_default());
+        let (mut allows, bad) = findings::parse_inline_allows(label, &lexed.comments);
+        all.extend(bad);
+        all.extend(findings::apply_inline_allows(raw, &mut allows));
+        all.extend(findings::stale_inline_allows(label, &allows));
+    }
+    // Flow findings on files outside the sans-IO set (shouldn't happen, but
+    // never drop a finding on the floor).
+    for (_, v) in flow_by_file {
+        all.extend(v);
     }
 
     // Family 2: wire contract.
@@ -124,7 +188,43 @@ pub fn lint_workspace(root: &Path) -> Result<Vec<Finding>, String> {
     }
 
     all.sort_by(|a, b| (&a.file, a.line, &a.rule).cmp(&(&b.file, b.line, &b.rule)));
-    Ok(all)
+    Ok((graph, all))
+}
+
+/// Run only the protocol-flow rules over an explicit file set (the
+/// `neutrino-lint --flow` fixture mode). Inline `lint-allow` comments in
+/// every supplied file are honoured and audited for staleness, exactly as
+/// in workspace mode.
+pub fn lint_flow_fixture(
+    sysmsg: (&str, &str),
+    table: (&str, &str),
+    files: &[flow::FlowFile],
+) -> (flow::FlowGraph, Vec<Finding>) {
+    let (graph, raw) = flow::check(sysmsg, table, files);
+    let mut by_file: std::collections::BTreeMap<String, Vec<Finding>> = Default::default();
+    for f in raw {
+        by_file.entry(f.file.clone()).or_default().push(f);
+    }
+    let mut texts: Vec<(&str, &str)> = vec![sysmsg, table];
+    texts.extend(files.iter().map(|f| (f.label.as_str(), f.src.as_str())));
+    let mut seen = std::collections::BTreeSet::new();
+    let mut all = Vec::new();
+    for (label, src) in texts {
+        if !seen.insert(label.to_string()) {
+            continue;
+        }
+        let lexed = lexer::lex(src);
+        let raw = by_file.remove(label).unwrap_or_default();
+        let (mut allows, bad) = findings::parse_inline_allows(label, &lexed.comments);
+        all.extend(bad);
+        all.extend(findings::apply_inline_allows(raw, &mut allows));
+        all.extend(findings::stale_inline_allows(label, &allows));
+    }
+    for (_, v) in by_file {
+        all.extend(v);
+    }
+    all.sort_by(|a, b| (&a.file, a.line, &a.rule).cmp(&(&b.file, b.line, &b.rule)));
+    (graph, all)
 }
 
 /// Locate the workspace root by walking up from `start` to the first

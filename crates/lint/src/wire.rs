@@ -158,9 +158,9 @@ pub fn check(
 }
 
 /// A parsed enum variant.
-struct Variant {
-    name: String,
-    line: u32,
+pub(crate) struct Variant {
+    pub(crate) name: String,
+    pub(crate) line: u32,
 }
 
 /// A parsed `const TAG_X: u8 = N;`.
@@ -171,7 +171,7 @@ struct TagConst {
 }
 
 /// Extract the variant names of `enum <name> { ... }`.
-fn enum_variants(tokens: &[Token], name: &str) -> Vec<Variant> {
+pub(crate) fn enum_variants(tokens: &[Token], name: &str) -> Vec<Variant> {
     let mut out = Vec::new();
     let Some(start) = tokens.windows(2).position(|w| w[0].text == "enum" && w[1].text == name)
     else {
@@ -259,7 +259,7 @@ fn tag_consts(tokens: &[Token]) -> Vec<TagConst> {
 }
 
 /// Locate a `fn <name>` and return its brace-matched body token range.
-fn fn_body(tokens: &[Token], name: &str) -> Option<(usize, usize)> {
+pub(crate) fn fn_body(tokens: &[Token], name: &str) -> Option<(usize, usize)> {
     let start = tokens.windows(2).position(|w| w[0].text == "fn" && w[1].text == name)?;
     let mut i = start + 2;
     while i < tokens.len() && tokens[i].text != "{" {

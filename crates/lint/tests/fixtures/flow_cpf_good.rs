@@ -1,0 +1,13 @@
+//! Fixture: the CPF side (role `cpf`, registered handler). Sends Pong,
+//! handles Ping and Data.
+
+pub fn pong(cta: u64, n: u64) -> CpfOutput {
+    CpfOutput::ToCta { cta, msg: SysMsg::Pong { n } }
+}
+
+pub fn handle(msg: SysMsg) -> u64 {
+    match msg {
+        SysMsg::Ping { n } => n,
+        SysMsg::Data(d) => d,
+    }
+}

@@ -1,0 +1,12 @@
+//! Fixture: `flow_cpf_good.rs` with the `SysMsg::Data` handler arm
+//! deleted — the flow pass must flip from clean to failing.
+
+pub fn pong(cta: u64, n: u64) -> CpfOutput {
+    CpfOutput::ToCta { cta, msg: SysMsg::Pong { n } }
+}
+
+pub fn handle(msg: SysMsg) -> u64 {
+    match msg {
+        SysMsg::Ping { n } => n,
+    }
+}

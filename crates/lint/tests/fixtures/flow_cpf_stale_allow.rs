@@ -1,0 +1,14 @@
+//! Fixture: an inline flow-wildcard allow with no wildcard left — the
+//! allow itself must be reported stale.
+
+pub fn pong(cta: u64, n: u64) -> CpfOutput {
+    CpfOutput::ToCta { cta, msg: SysMsg::Pong { n } }
+}
+
+pub fn handle(msg: SysMsg) -> u64 {
+    match msg {
+        SysMsg::Ping { n } => n,
+        // lint-allow(flow-wildcard): stale — the wildcard was removed
+        SysMsg::Data(d) => d,
+    }
+}

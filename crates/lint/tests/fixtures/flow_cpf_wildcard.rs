@@ -1,0 +1,13 @@
+//! Fixture: a silent catch-all in a SysMsg handler match.
+
+pub fn pong(cta: u64, n: u64) -> CpfOutput {
+    CpfOutput::ToCta { cta, msg: SysMsg::Pong { n } }
+}
+
+pub fn handle(msg: SysMsg) -> u64 {
+    match msg {
+        SysMsg::Ping { n } => n,
+        SysMsg::Data(d) => d,
+        _ => 0,
+    }
+}

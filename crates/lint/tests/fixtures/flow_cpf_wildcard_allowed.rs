@@ -1,0 +1,14 @@
+//! Fixture: the same catch-all, audited with an inline allow.
+
+pub fn pong(cta: u64, n: u64) -> CpfOutput {
+    CpfOutput::ToCta { cta, msg: SysMsg::Pong { n } }
+}
+
+pub fn handle(msg: SysMsg) -> u64 {
+    match msg {
+        SysMsg::Ping { n } => n,
+        SysMsg::Data(d) => d,
+        // lint-allow(flow-wildcard): fixture — counted elsewhere
+        _ => 0,
+    }
+}

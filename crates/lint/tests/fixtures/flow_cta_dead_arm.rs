@@ -1,0 +1,17 @@
+//! Fixture: the CTA matches Ping, which it is never declared to
+//! receive — a dead arm.
+
+pub fn ping(cpf: u64, n: u64) -> CtaOutput {
+    CtaOutput::ToCpf { cpf, msg: SysMsg::Ping { n } }
+}
+
+pub fn data(cpf: u64, n: u64) -> CtaOutput {
+    CtaOutput::ToCpf { cpf, msg: SysMsg::Data(n) }
+}
+
+pub fn handle(msg: SysMsg) -> u64 {
+    match msg {
+        SysMsg::Pong { n } => n,
+        SysMsg::Ping { n } => n,
+    }
+}

@@ -1,0 +1,16 @@
+//! Fixture: the CTA side of the mini protocol (role `cta`, registered
+//! handler). Sends Ping and Data, handles Pong.
+
+pub fn ping(cpf: u64, n: u64) -> CtaOutput {
+    CtaOutput::ToCpf { cpf, msg: SysMsg::Ping { n } }
+}
+
+pub fn data(cpf: u64, n: u64) -> CtaOutput {
+    CtaOutput::ToCpf { cpf, msg: SysMsg::Data(n) }
+}
+
+pub fn handle(msg: SysMsg) -> u64 {
+    match msg {
+        SysMsg::Pong { n } => n,
+    }
+}

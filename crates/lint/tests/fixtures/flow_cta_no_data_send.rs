@@ -1,0 +1,12 @@
+//! Fixture: nothing constructs `SysMsg::Data`, so its declared flow is a
+//! dead protocol path.
+
+pub fn ping(cpf: u64, n: u64) -> CtaOutput {
+    CtaOutput::ToCpf { cpf, msg: SysMsg::Ping { n } }
+}
+
+pub fn handle(msg: SysMsg) -> u64 {
+    match msg {
+        SysMsg::Pong { n } => n,
+    }
+}

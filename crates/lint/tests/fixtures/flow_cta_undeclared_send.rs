@@ -1,0 +1,20 @@
+//! Fixture: the CTA also sends Pong, which the table declares cpf→cta
+//! only — an undeclared send.
+
+pub fn ping(cpf: u64, n: u64) -> CtaOutput {
+    CtaOutput::ToCpf { cpf, msg: SysMsg::Ping { n } }
+}
+
+pub fn data(cpf: u64, n: u64) -> CtaOutput {
+    CtaOutput::ToCpf { cpf, msg: SysMsg::Data(n) }
+}
+
+pub fn bad(cpf: u64, n: u64) -> CtaOutput {
+    CtaOutput::ToCpf { cpf, msg: SysMsg::Pong { n } }
+}
+
+pub fn handle(msg: SysMsg) -> u64 {
+    match msg {
+        SysMsg::Pong { n } => n,
+    }
+}

@@ -1,0 +1,7 @@
+//! Fixture: mini SysMsg enum for the flow rules.
+
+pub enum SysMsg {
+    Ping { n: u64 },
+    Pong { n: u64 },
+    Data(u64),
+}

@@ -1,0 +1,10 @@
+//! Fixture: a malformed flow table — duplicate entry, unknown role,
+//! entry for a variant that does not exist.
+
+pub const FLOWS: &[FlowSpec] = &[
+    FlowSpec { variant: "Ping", edges: &[(Role::Cta, Role::Cpf)] },
+    FlowSpec { variant: "Ping", edges: &[(Role::Cta, Role::Cpf)] },
+    FlowSpec { variant: "Pong", edges: &[(Role::Cpf, Role::Bogus)] },
+    FlowSpec { variant: "Data", edges: &[(Role::Cta, Role::Cpf)] },
+    FlowSpec { variant: "Nope", edges: &[(Role::Cta, Role::Cpf)] },
+];

@@ -1,0 +1,7 @@
+//! Fixture: a total, well-formed flow table for the mini protocol.
+
+pub const FLOWS: &[FlowSpec] = &[
+    FlowSpec { variant: "Ping", edges: &[(Role::Cta, Role::Cpf)] },
+    FlowSpec { variant: "Pong", edges: &[(Role::Cpf, Role::Cta)] },
+    FlowSpec { variant: "Data", edges: &[(Role::Cta, Role::Cpf)] },
+];

@@ -1,0 +1,7 @@
+//! Fixture: the table has no entry for `SysMsg::Data` — totality
+//! violation.
+
+pub const FLOWS: &[FlowSpec] = &[
+    FlowSpec { variant: "Ping", edges: &[(Role::Cta, Role::Cpf)] },
+    FlowSpec { variant: "Pong", edges: &[(Role::Cpf, Role::Cta)] },
+];

@@ -1,0 +1,329 @@
+//! The protocol-flow registry: which roles may send each [`SysMsg`] variant,
+//! and which roles receive it.
+//!
+//! The paper's recovery flows (§4.2: `MarkOutdated` → `FetchState` →
+//! `Replay` → `AskReAttach`) break silently when a handler quietly ignores a
+//! variant or a new send site routes a message to a role that never expected
+//! it. This table turns the doc-comment flow annotations ("CPF → CTA: …")
+//! into a machine-checked contract:
+//!
+//! * `neutrino-lint`'s flow pass (crates/lint/src/flow.rs) cross-parses this
+//!   table against every `SysMsg` construction/send site and every `handle()`
+//!   match arm in the sans-IO crates, and fails CI on undeclared senders,
+//!   missing handler arms, dead arms, orphan variants, and silent wildcard
+//!   arms;
+//! * the check harness witnesses `(variant, src_role, dst_role)` edges during
+//!   explore runs and `explore --flow-coverage` diffs them against this table
+//!   (declared-but-never-witnessed = dead protocol path,
+//!   witnessed-but-undeclared = spec drift).
+//!
+//! Totality is enforced twice: [`variant_name`] matches `SysMsg`
+//! exhaustively (adding a variant without touching this file fails to
+//! build), and the unit tests + lint assert every variant has a `FLOWS`
+//! entry and vice versa.
+
+use crate::sysmsg::SysMsg;
+
+/// A protocol role: who a node *is* in the deployment, for flow-contract
+/// purposes. The simulator's node-id bands (see [`Role::of_node_raw`]) map
+/// onto these.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Role {
+    /// A Control Traffic Aggregator.
+    Cta,
+    /// A Control Plane Function (the per-procedure state machines).
+    Cpf,
+    /// A User Plane Function (session anchors).
+    Upf,
+    /// The UE population behind its base stations (`UePop`/BS side).
+    UePop,
+    /// The test harness / environment: the failure detector and data-plane
+    /// injectors that deliver messages from outside the deployment
+    /// (`NodeId::EXTERNAL` sources).
+    Harness,
+}
+
+/// First simulator node id of the CTA band (mirrored by
+/// `neutrino_core::simnode::cta_node`; a cross-check test lives there).
+pub const CTA_NODE_BAND: u64 = 1_000;
+/// First simulator node id of the CPF band.
+pub const CPF_NODE_BAND: u64 = 100_000;
+/// First simulator node id of the UPF band.
+pub const UPF_NODE_BAND: u64 = 200_000;
+
+impl Role {
+    /// Every role, in declaration order.
+    pub const ALL: &'static [Role] =
+        &[Role::Cta, Role::Cpf, Role::Upf, Role::UePop, Role::Harness];
+
+    /// Stable lower-case name used in lint findings, the static flow graph
+    /// and the coverage-diff JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            Role::Cta => "cta",
+            Role::Cpf => "cpf",
+            Role::Upf => "upf",
+            Role::UePop => "uepop",
+            Role::Harness => "harness",
+        }
+    }
+
+    /// Parse a [`Role::name`] back into a role.
+    pub fn from_name(name: &str) -> Option<Role> {
+        Role::ALL.iter().copied().find(|r| r.name() == name)
+    }
+
+    /// Map a raw simulator node id onto its role band: node 0 is the UE
+    /// population, `u64::MAX` is the external injector (`NodeId::EXTERNAL`),
+    /// and the CTA/CPF/UPF bands follow `simnode`'s layout. Ids between the
+    /// UE population and the CTA band are unassigned.
+    pub fn of_node_raw(raw: u64) -> Option<Role> {
+        match raw {
+            0 => Some(Role::UePop),
+            u64::MAX => Some(Role::Harness),
+            r if r >= UPF_NODE_BAND => Some(Role::Upf),
+            r if r >= CPF_NODE_BAND => Some(Role::Cpf),
+            r if r >= CTA_NODE_BAND => Some(Role::Cta),
+            _ => None,
+        }
+    }
+}
+
+/// The declared flow of one [`SysMsg`] variant: every `(source, destination)`
+/// role pair on which the variant is allowed to travel.
+///
+/// Edges are explicit pairs — not a source-set × destination-set product —
+/// so the coverage differ never manufactures impossible edges (e.g.
+/// `DdnRequest` flows Upf→Cta and Cta→Cpf, but never Upf→Cpf directly).
+#[derive(Debug, Clone, Copy)]
+pub struct FlowSpec {
+    /// The `SysMsg` variant name, e.g. `"StateSync"`.
+    pub variant: &'static str,
+    /// Allowed `(src, dst)` role pairs.
+    pub edges: &'static [(Role, Role)],
+}
+
+impl FlowSpec {
+    /// Whether `src → dst` is a declared edge for this variant.
+    pub fn allows(&self, src: Role, dst: Role) -> bool {
+        self.edges.contains(&(src, dst))
+    }
+
+    /// Whether `dst` is a declared destination on any edge (i.e. the role
+    /// needs a handler arm for this variant).
+    pub fn dst(&self, dst: Role) -> bool {
+        self.edges.iter().any(|&(_, d)| d == dst)
+    }
+
+    /// Whether `src` is a declared source on any edge.
+    pub fn src(&self, src: Role) -> bool {
+        self.edges.iter().any(|&(s, _)| s == src)
+    }
+}
+
+/// The flow table: one entry per `SysMsg` variant, in enum declaration
+/// order. The lint's flow pass parses this table textually, so entries stay
+/// in the literal `FlowSpec { variant: "...", edges: &[(Role::X, Role::Y)] }`
+/// form — no helper macros.
+pub const FLOWS: &[FlowSpec] = &[
+    FlowSpec {
+        variant: "Control",
+        edges: &[
+            (Role::UePop, Role::Cta),
+            (Role::Cta, Role::Cpf),
+            (Role::Cpf, Role::Cta),
+            (Role::Cta, Role::UePop),
+        ],
+    },
+    FlowSpec { variant: "StateSync", edges: &[(Role::Cpf, Role::Cpf)] },
+    FlowSpec { variant: "SyncAck", edges: &[(Role::Cpf, Role::Cta)] },
+    FlowSpec { variant: "MarkOutdated", edges: &[(Role::Cta, Role::Cpf)] },
+    FlowSpec { variant: "Replay", edges: &[(Role::Cta, Role::Cpf)] },
+    FlowSpec { variant: "FetchState", edges: &[(Role::Cpf, Role::Cpf)] },
+    FlowSpec { variant: "FetchStateResp", edges: &[(Role::Cpf, Role::Cpf)] },
+    FlowSpec { variant: "S11", edges: &[(Role::Cpf, Role::Upf)] },
+    FlowSpec { variant: "S11Resp", edges: &[(Role::Upf, Role::Cpf)] },
+    FlowSpec { variant: "AskReAttach", edges: &[(Role::Cta, Role::UePop)] },
+    FlowSpec { variant: "MigrationAck", edges: &[(Role::Cpf, Role::Cpf)] },
+    FlowSpec { variant: "RelayReAttach", edges: &[(Role::Cpf, Role::Cta)] },
+    FlowSpec { variant: "DownlinkData", edges: &[(Role::Harness, Role::Upf)] },
+    FlowSpec {
+        variant: "DdnRequest",
+        edges: &[(Role::Upf, Role::Cta), (Role::Cta, Role::Cpf)],
+    },
+    FlowSpec {
+        variant: "CpfFailure",
+        edges: &[(Role::Harness, Role::Cta), (Role::Harness, Role::Cpf)],
+    },
+    FlowSpec { variant: "ResyncRequest", edges: &[(Role::Cta, Role::Cpf)] },
+    FlowSpec { variant: "ResyncBehind", edges: &[(Role::Cpf, Role::Cta)] },
+    FlowSpec { variant: "Reject", edges: &[(Role::Cta, Role::UePop)] },
+];
+
+/// The variant name of a message, matching the identifiers used in `FLOWS`.
+///
+/// This match is deliberately exhaustive with no wildcard: adding a `SysMsg`
+/// variant without declaring its flow here fails to **build**, which is the
+/// totality guarantee the flow contract rests on (the unit tests and the
+/// lint then force the matching `FLOWS` entry).
+pub fn variant_name(msg: &SysMsg) -> &'static str {
+    match msg {
+        SysMsg::Control(_) => "Control",
+        SysMsg::StateSync(_) => "StateSync",
+        SysMsg::SyncAck(_) => "SyncAck",
+        SysMsg::MarkOutdated(_) => "MarkOutdated",
+        SysMsg::Replay(_) => "Replay",
+        SysMsg::FetchState { .. } => "FetchState",
+        SysMsg::FetchStateResp { .. } => "FetchStateResp",
+        SysMsg::S11(_) => "S11",
+        SysMsg::S11Resp(_) => "S11Resp",
+        SysMsg::AskReAttach { .. } => "AskReAttach",
+        SysMsg::MigrationAck { .. } => "MigrationAck",
+        SysMsg::RelayReAttach { .. } => "RelayReAttach",
+        SysMsg::DownlinkData { .. } => "DownlinkData",
+        SysMsg::DdnRequest { .. } => "DdnRequest",
+        SysMsg::CpfFailure { .. } => "CpfFailure",
+        SysMsg::ResyncRequest { .. } => "ResyncRequest",
+        SysMsg::ResyncBehind { .. } => "ResyncBehind",
+        SysMsg::Reject { .. } => "Reject",
+    }
+}
+
+/// Look up the declared flow of a variant by name.
+pub fn spec(variant: &str) -> Option<&'static FlowSpec> {
+    FLOWS.iter().find(|s| s.variant == variant)
+}
+
+/// The declared flow of a message. Panics if the variant has no `FLOWS`
+/// entry — the totality tests make that unreachable in a green tree.
+pub fn flow_of(msg: &SysMsg) -> &'static FlowSpec {
+    let name = variant_name(msg);
+    spec(name).unwrap_or_else(|| panic!("SysMsg::{name} has no FLOWS entry — declare its flow"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::control::{Envelope, MessageKind};
+    use crate::procedures::ProcedureKind;
+    use crate::state::UeState;
+    use crate::sysmsg::{
+        AdmissionClass, MarkOutdated, Replay, S11Request, S11Response, SessionOp, StateSync,
+        SyncAck, SyncPurpose,
+    };
+    use neutrino_common::clock::ClockTick;
+    use crate::ies::Tai;
+    use neutrino_common::{BsId, CpfId, CtaId, ProcedureId, SessionId, UeId, UpfId};
+
+    /// One instance of **every** `SysMsg` variant. Kept next to the table so
+    /// the totality test below exercises `flow_of` over the whole enum.
+    fn one_of_each() -> Vec<SysMsg> {
+        let ue = UeId::new(1);
+        let env = Envelope::uplink(
+            ue,
+            ProcedureId::FIRST,
+            ProcedureKind::ServiceRequest,
+            MessageKind::ServiceRequest.sample(1),
+        );
+        let state = UeState::new(ue, BsId::new(1), UpfId::new(1), Tai { plmn: 1, tac: 1 });
+        let sync = StateSync {
+            ue,
+            primary: CpfId::new(1),
+            cta: CtaId::new(1),
+            state: state.clone(),
+            procedure: ProcedureId::FIRST,
+            end_clock: ClockTick(1),
+            purpose: SyncPurpose::Checkpoint,
+        };
+        vec![
+            SysMsg::Control(env),
+            SysMsg::StateSync(sync),
+            SysMsg::SyncAck(SyncAck {
+                ue,
+                replica: CpfId::new(2),
+                procedure: ProcedureId::FIRST,
+                end_clock: ClockTick(1),
+            }),
+            SysMsg::MarkOutdated(MarkOutdated { ue, clock: ClockTick(1), up_to_date: vec![] }),
+            SysMsg::Replay(Replay { ue, messages: vec![] }),
+            SysMsg::FetchState { ue, requester: CpfId::new(2) },
+            SysMsg::FetchStateResp { ue, state: Some(Box::new(state)) },
+            SysMsg::S11(S11Request { ue, cpf: CpfId::new(1), op: SessionOp::Create, session: None }),
+            SysMsg::S11Resp(S11Response {
+                ue,
+                op: SessionOp::Create,
+                upf: UpfId::new(1),
+                session: Some(SessionId::new(1)),
+                ok: true,
+            }),
+            SysMsg::AskReAttach { ue },
+            SysMsg::MigrationAck { ue },
+            SysMsg::RelayReAttach { ue, bs: BsId::new(1) },
+            SysMsg::DownlinkData { ue },
+            SysMsg::DdnRequest { ue, upf: UpfId::new(1) },
+            SysMsg::CpfFailure { cpf: CpfId::new(1) },
+            SysMsg::ResyncRequest { ue, procedure: ProcedureId::FIRST, cta: CtaId::new(1) },
+            SysMsg::ResyncBehind { ue, have: ProcedureId::FIRST, cpf: CpfId::new(1) },
+            SysMsg::Reject { ue, class: AdmissionClass::Attach, retry_after_ms: 10 },
+        ]
+    }
+
+    #[test]
+    fn table_is_total_over_the_enum() {
+        let msgs = one_of_each();
+        // Every variant resolves to a FLOWS entry bearing its own name
+        // (flow_of panics on a missing entry), …
+        for m in &msgs {
+            assert_eq!(flow_of(m).variant, variant_name(m));
+        }
+        // … the sample set covers each variant exactly once, …
+        let names: std::collections::BTreeSet<_> = msgs.iter().map(|m| variant_name(m)).collect();
+        assert_eq!(names.len(), msgs.len(), "one_of_each has a duplicate variant");
+        // … and the table carries no extra (undeclarable) entries.
+        assert_eq!(FLOWS.len(), msgs.len(), "FLOWS has entries for nonexistent variants");
+        for s in FLOWS {
+            assert!(names.contains(s.variant), "FLOWS entry {} matches no variant", s.variant);
+        }
+    }
+
+    #[test]
+    fn every_flow_has_edges_and_no_duplicates() {
+        let mut seen = std::collections::BTreeSet::new();
+        for s in FLOWS {
+            assert!(seen.insert(s.variant), "duplicate FLOWS entry for {}", s.variant);
+            assert!(!s.edges.is_empty(), "{} declares no edges", s.variant);
+            let mut edges = std::collections::BTreeSet::new();
+            for e in s.edges {
+                assert!(edges.insert(e), "{} declares duplicate edge {e:?}", s.variant);
+            }
+        }
+    }
+
+    #[test]
+    fn role_names_round_trip() {
+        for r in Role::ALL {
+            assert_eq!(Role::from_name(r.name()), Some(*r));
+        }
+        assert_eq!(Role::from_name("nobody"), None);
+    }
+
+    #[test]
+    fn node_band_mapping() {
+        assert_eq!(Role::of_node_raw(0), Some(Role::UePop));
+        assert_eq!(Role::of_node_raw(1), None);
+        assert_eq!(Role::of_node_raw(CTA_NODE_BAND), Some(Role::Cta));
+        assert_eq!(Role::of_node_raw(CPF_NODE_BAND + 3), Some(Role::Cpf));
+        assert_eq!(Role::of_node_raw(UPF_NODE_BAND + 7), Some(Role::Upf));
+        assert_eq!(Role::of_node_raw(u64::MAX), Some(Role::Harness));
+    }
+
+    #[test]
+    fn spec_lookup_and_edge_queries() {
+        let ddn = spec("DdnRequest").unwrap();
+        assert!(ddn.allows(Role::Upf, Role::Cta));
+        assert!(ddn.allows(Role::Cta, Role::Cpf));
+        assert!(!ddn.allows(Role::Upf, Role::Cpf), "edges are pairs, not a product");
+        assert!(ddn.src(Role::Upf) && ddn.dst(Role::Cpf));
+        assert!(spec("NoSuchVariant").is_none());
+    }
+}

@@ -25,6 +25,7 @@
 
 pub mod control;
 pub mod costs;
+pub mod flow;
 pub mod ies;
 pub mod nas;
 pub mod procedures;
@@ -34,6 +35,7 @@ pub mod sysmsg;
 pub mod wire;
 
 pub use control::{ControlMessage, Direction, Envelope, MessageKind};
+pub use flow::{FlowSpec, Role, FLOWS};
 pub use procedures::{ProcedureKind, ProcedureTemplate};
 pub use sysmsg::{AdmissionClass, SysMsg};
 pub use wire::Wire;

@@ -126,6 +126,11 @@ impl<M> Default for Outbox<M> {
     }
 }
 
+/// A delivery witness: `tap(from, to, &msg)` runs for every message
+/// actually enqueued at an up node (after loss/partition/down filtering,
+/// before service). See [`Sim::set_delivery_tap`].
+pub type DeliveryTap<M> = Box<dyn FnMut(NodeId, NodeId, &M) + Send>;
+
 /// A protocol state machine living at one node.
 ///
 /// `Send` is required so the region-sharded engine ([`crate::shard`]) can
@@ -366,6 +371,11 @@ pub struct Sim<M> {
     /// `None` until the first [`Sim::run_until_chosen`] call, so plain
     /// runs carry no instrumentation cost.
     choice: Option<Box<crate::choice::ChoiceState>>,
+    /// Optional delivery witness (flow-coverage tooling): called for every
+    /// message actually enqueued at an up node, after fault filtering and
+    /// before service. `None` on plain runs, so the hot path pays exactly
+    /// one branch.
+    tap: Option<DeliveryTap<M>>,
 }
 
 impl<M: Clone + 'static> Sim<M> {
@@ -397,7 +407,16 @@ impl<M: Clone + 'static> Sim<M> {
             scratch: Outbox::default(),
             window: None,
             choice: None,
+            tap: None,
         }
+    }
+
+    /// Installs a delivery witness: `tap(from, to, &msg)` runs for every
+    /// message actually enqueued at an up node (after loss/partition/down
+    /// filtering, before service). Used by `explore --flow-coverage` to
+    /// record witnessed protocol-flow edges; plain runs never install one.
+    pub fn set_delivery_tap(&mut self, tap: DeliveryTap<M>) {
+        self.tap = Some(tap);
     }
 
     /// Current virtual time.
@@ -741,11 +760,14 @@ impl<M: Clone + 'static> Sim<M> {
                         return;
                     }
                 };
-                let entry = &mut self.nodes[slot];
-                if !entry.up {
-                    entry.stats.dropped_down += 1;
+                if !self.nodes[slot].up {
+                    self.nodes[slot].stats.dropped_down += 1;
                     return;
                 }
+                if let Some(tap) = self.tap.as_mut() {
+                    tap(from, to, &msg);
+                }
+                let entry = &mut self.nodes[slot];
                 entry.queue.push_back((from, msg, self.now));
                 let depth = entry.queue.len();
                 if depth > entry.stats.max_queue_depth {

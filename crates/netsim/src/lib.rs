@@ -36,7 +36,7 @@ pub mod stats;
 pub mod wheel;
 
 pub use choice::{ChoiceCtx, Chooser, Enabled, IdentityChooser};
-pub use engine::{Node, NodeEvent, NodeId, Outbox, Sim, SimConfig};
+pub use engine::{DeliveryTap, Node, NodeEvent, NodeId, Outbox, Sim, SimConfig};
 pub use shard::ShardedSim;
 pub use links::{Delivery, FaultSpec, LinkSpec, Links};
 pub use stats::{NodeStats, SimStats};

@@ -296,6 +296,17 @@ impl<M: Clone + Send + 'static> ShardedSim<M> {
         }
     }
 
+    /// Installs a delivery witness on the underlying sequential engine (see
+    /// [`Sim::set_delivery_tap`]). A sharded engine has no single delivery
+    /// order to witness, so this panics there — flow-coverage runs build
+    /// their cluster at `shards = 1`.
+    pub fn set_delivery_tap(&mut self, tap: crate::engine::DeliveryTap<M>) {
+        match &mut self.mode {
+            Mode::Sequential(sim) => sim.set_delivery_tap(tap),
+            Mode::Sharded(_) => panic!("set_delivery_tap requires shards = 1"),
+        }
+    }
+
     /// Order-canonical chosen-mode state hash (see
     /// [`Sim::choice_state_hash`]); zero for sharded engines, which never
     /// enter chosen mode.

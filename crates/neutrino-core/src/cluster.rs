@@ -442,6 +442,7 @@ impl Cluster {
                 agg.acks_deferred += m.acks_deferred;
                 agg.breaker_opened += m.breaker_opened;
                 agg.breaker_suppressed += m.breaker_suppressed;
+                agg.unexpected_msgs += m.unexpected_msgs;
             }
         }
         agg
@@ -509,6 +510,7 @@ impl Cluster {
                 agg.pages_failed += m.pages_failed;
                 agg.resyncs_answered += m.resyncs_answered;
                 agg.dup_uplink_nudges += m.dup_uplink_nudges;
+                agg.unexpected_msgs += m.unexpected_msgs;
             }
         }
         agg

@@ -22,19 +22,23 @@ use std::sync::OnceLock;
 /// The UE/BS population node id.
 pub const UEPOP_NODE: NodeId = NodeId::new(0);
 
-/// Simulator node id of a CTA.
+/// Simulator node id of a CTA. The band bases live in
+/// [`neutrino_messages::flow`] so [`Role::of_node_raw`]
+/// (the flow-coverage witness mapping) can never drift from the layout here.
+///
+/// [`Role::of_node_raw`]: neutrino_messages::flow::Role::of_node_raw
 pub fn cta_node(id: CtaId) -> NodeId {
-    NodeId::new(1_000 + id.raw())
+    NodeId::new(neutrino_messages::flow::CTA_NODE_BAND + id.raw())
 }
 
 /// Simulator node id of a CPF.
 pub fn cpf_node(id: CpfId) -> NodeId {
-    NodeId::new(100_000 + id.raw())
+    NodeId::new(neutrino_messages::flow::CPF_NODE_BAND + id.raw())
 }
 
 /// Simulator node id of a UPF.
 pub fn upf_node(id: UpfId) -> NodeId {
-    NodeId::new(200_000 + id.raw())
+    NodeId::new(neutrino_messages::flow::UPF_NODE_BAND + id.raw())
 }
 
 /// For each `(procedure, uplink message)` pair, the downlink kind the CPF
@@ -358,6 +362,16 @@ impl Node<SimMsg> for UpfNode {
 mod tests {
     use super::*;
     use neutrino_codec::CodecKind;
+
+    #[test]
+    fn node_bands_agree_with_flow_roles() {
+        use neutrino_messages::flow::Role;
+        assert_eq!(Role::of_node_raw(UEPOP_NODE.raw()), Some(Role::UePop));
+        assert_eq!(Role::of_node_raw(cta_node(CtaId::new(3)).raw()), Some(Role::Cta));
+        assert_eq!(Role::of_node_raw(cpf_node(CpfId::new(7)).raw()), Some(Role::Cpf));
+        assert_eq!(Role::of_node_raw(upf_node(UpfId::new(9)).raw()), Some(Role::Upf));
+        assert_eq!(Role::of_node_raw(NodeId::EXTERNAL.raw()), Some(Role::Harness));
+    }
 
     #[test]
     fn response_kind_follows_templates() {

@@ -165,6 +165,10 @@ pub struct UePopResults {
     pub retries_exhausted: u64,
     /// `Reject` frames received from the admission gate.
     pub rejected: u64,
+    /// `SysMsg` variants delivered to the UE side that the flow contract
+    /// says it never receives (misrouted traffic — counted, never silently
+    /// swallowed).
+    pub unexpected_msgs: u64,
 }
 
 #[derive(Debug, Clone)]
@@ -629,7 +633,8 @@ impl Node<SimMsg> for UePopulation {
                 SimMsg::Sys(SysMsg::Reject { ue, retry_after_ms, .. }) => {
                     self.on_reject(ue, retry_after_ms, out);
                 }
-                _ => {}
+                // lint-allow(flow-wildcard): counted — a misrouted SysMsg increments unexpected_msgs instead of vanishing
+                _ => self.results.unexpected_msgs += 1,
             },
             NodeEvent::Timer { id: ARRIVAL_TIMER } => self.pump_arrivals(out),
             NodeEvent::Timer { id } => self.on_retry_timer(UeId::new(id), out),

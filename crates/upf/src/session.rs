@@ -140,6 +140,10 @@ pub struct UpfCore {
     table: SessionTable,
     /// The CTA that fronts this UPF's region (DDN routing).
     cta: CtaId,
+    /// `SysMsg` variants delivered here that the flow contract says a UPF
+    /// never receives (misrouted traffic — counted, never silently
+    /// swallowed).
+    unexpected_msgs: u64,
 }
 
 impl UpfCore {
@@ -154,7 +158,13 @@ impl UpfCore {
             id,
             table: SessionTable::new(),
             cta,
+            unexpected_msgs: 0,
         }
+    }
+
+    /// Misrouted `SysMsg`s this UPF has received (see `handle`).
+    pub fn unexpected_msgs(&self) -> u64 {
+        self.unexpected_msgs
     }
 
     /// Handles a downlink packet for `ue`: forwarded while the session is
@@ -218,8 +228,9 @@ impl UpfCore {
         match msg {
             SysMsg::S11(req) => self.on_s11(req),
             SysMsg::DownlinkData { ue } => self.on_downlink_data(ue),
-            other => {
-                debug_assert!(false, "UPF received unexpected {}", other.label());
+            // lint-allow(flow-wildcard): counted — a misrouted SysMsg increments unexpected_msgs instead of vanishing
+            _ => {
+                self.unexpected_msgs += 1;
                 Vec::new()
             }
         }
@@ -300,5 +311,15 @@ mod tests {
             &outs[0],
             UpfOutput::ToCpf { msg: SysMsg::S11Resp(r), .. } if r.ok && r.session.is_none()
         ));
+    }
+
+    #[test]
+    fn misrouted_sysmsg_is_counted_not_swallowed() {
+        let mut upf = UpfCore::new(UpfId::new(1));
+        // A UPF only ever receives S11 and DownlinkData; anything else is a
+        // routing bug and must be observable.
+        let outs = upf.handle(SysMsg::AskReAttach { ue: UeId::new(7) });
+        assert!(outs.is_empty());
+        assert_eq!(upf.unexpected_msgs(), 1);
     }
 }
